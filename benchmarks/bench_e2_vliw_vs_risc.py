@@ -1,0 +1,82 @@
+"""E2 — §2.2: "In about the chip area required for a RISC processor, we can
+build a 4-issue customized VLIW."
+
+Compares, across a slice of the kernel suite, a scalar embedded RISC, a
+4-issue exposed-pipeline VLIW, and a 4-issue binary-compatible
+(dynamically scheduled) part: core area from the area model, cycles from
+the cycle simulator.  The claim reproduced is the *shape*: the exposed
+VLIW lands near the RISC in area while delivering a healthy speedup, and
+the compatibility hardware of the dynamically scheduled part dominates
+its area.
+"""
+
+from __future__ import annotations
+
+from repro.arch import estimate_area, mass_market_superscalar, risc_baseline, vliw4
+from repro.backend import compile_module
+from repro.frontend import compile_c
+from repro.opt import optimize
+from repro.sim import CycleSimulator
+from repro.workloads import get_kernel
+
+from conftest import print_table, run_once
+
+KERNELS = ["dot_product", "sad16", "viterbi_acs", "rgb_to_gray", "ip_checksum"]
+SIZE = 48
+
+
+def measure(machine, kernel_name):
+    kernel = get_kernel(kernel_name)
+    module = compile_c(kernel.source, module_name=kernel_name)
+    optimize(module, level=3)
+    compiled, _report = compile_module(module, machine)
+    args = kernel.arguments(SIZE)
+    result = CycleSimulator(compiled).run(
+        kernel.entry, *[list(a) if isinstance(a, list) else a for a in args])
+    assert result.value == kernel.expected(args)
+    return result.cycles
+
+
+def test_e2_vliw_in_risc_area(benchmark):
+    risc = risc_baseline()
+    custom_vliw = vliw4()
+    mass = mass_market_superscalar()
+
+    def experiment():
+        rows = []
+        for name in KERNELS:
+            risc_cycles = measure(risc, name)
+            vliw_cycles = measure(custom_vliw, name)
+            rows.append({
+                "kernel": name,
+                "risc32 cycles": risc_cycles,
+                "vliw4 cycles": vliw_cycles,
+                "speedup": round(risc_cycles / vliw_cycles, 2),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    risc_area = estimate_area(risc).core
+    vliw_area = estimate_area(custom_vliw).core
+    dynamic_area = estimate_area(mass, dynamically_scheduled=True).core
+    area_rows = [{
+        "machine": "risc32 (scalar, exposed)", "core kgates": round(risc_area, 1),
+        "vs risc": 1.0},
+        {"machine": "vliw4 (4-issue, exposed)", "core kgates": round(vliw_area, 1),
+         "vs risc": round(vliw_area / risc_area, 2)},
+        {"machine": "massmkt (4-issue, binary compatible)",
+         "core kgates": round(dynamic_area, 1),
+         "vs risc": round(dynamic_area / risc_area, 2)},
+    ]
+    print_table("E2: core area (no caches)", area_rows)
+    print_table("E2: cycles, scalar RISC vs 4-issue customized VLIW", rows)
+
+    mean_speedup = sum(r["speedup"] for r in rows) / len(rows)
+    print(f"\nE2 summary: geomean-ish mean speedup {mean_speedup:.2f}x; "
+          f"vliw4 is {vliw_area / risc_area:.2f}x the RISC core area while the "
+          f"binary-compatible 4-issue part is {dynamic_area / risc_area:.2f}x.")
+
+    assert mean_speedup > 1.2
+    assert vliw_area / risc_area < 2.5
+    assert dynamic_area > 2.0 * vliw_area

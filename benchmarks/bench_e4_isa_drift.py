@@ -1,0 +1,104 @@
+"""E4 — ISA drift (§2): running yesterday's binary on today's family member.
+
+A program is compiled and ISA-customized for family member "gen1".  The
+family then drifts: "gen2" drops gen1's custom operations and adds its own
+budget headroom.  The table compares four ways of getting the old binary
+onto gen2 — run-as-is is impossible (incompatible), static translation,
+dynamic re-optimization, native recompile — plus the amortisation curve of
+the one-time translation costs.
+"""
+
+from __future__ import annotations
+
+from repro.arch import vliw4
+from repro.backend import compile_module
+from repro.core import customize_isa
+from repro.drift import BinaryTranslator, StagedExecutionModel, assess
+from repro.frontend import compile_c
+from repro.opt import optimize
+from repro.sim import CycleSimulator
+from repro.workloads import get_kernel
+
+from conftest import print_table, run_once
+
+KERNEL = "saturated_add"
+SIZE = 64
+
+
+def test_e4_isa_drift(benchmark):
+    kernel = get_kernel(KERNEL)
+    args = kernel.arguments(SIZE)
+    run_args = lambda: tuple(list(a) if isinstance(a, list) else a for a in args)
+    expected = kernel.expected(args)
+
+    def experiment():
+        # Native gen1 build (customized).
+        module = compile_c(kernel.source, module_name=KERNEL)
+        optimize(module, level=3)
+        gen1 = vliw4("gen1")
+        customization = customize_isa(module, gen1, area_budget_kgates=40.0,
+                                      name="gen1+custom")
+        gen1_custom = customization.machine
+        gen1_compiled, _ = compile_module(module, gen1_custom)
+        native_gen1 = CycleSimulator(gen1_compiled).run(kernel.entry, *run_args())
+        assert native_gen1.value == expected
+
+        # The family drifts: gen2 is a plain 4-issue member without gen1's ops.
+        gen2 = vliw4("gen2")
+        verdict = assess(gen1_custom, gen2)
+
+        translator = BinaryTranslator()
+        translated, static_report = translator.translate(gen1_compiled, gen2)
+        static_run = CycleSimulator(translated).run(kernel.entry, *run_args())
+        assert static_run.value == expected
+
+        reoptimized, dyn_report = translator.translate(gen1_compiled, gen2,
+                                                       reoptimize=True)
+        dynamic_run = CycleSimulator(reoptimized).run(kernel.entry, *run_args())
+        assert dynamic_run.value == expected
+
+        # Native recompile for gen2 from source.
+        fresh = compile_c(kernel.source, module_name=KERNEL)
+        optimize(fresh, level=3)
+        gen2_compiled, _ = compile_module(fresh, gen2)
+        native_gen2 = CycleSimulator(gen2_compiled).run(kernel.entry, *run_args())
+        assert native_gen2.value == expected
+
+        return (native_gen1, static_run, dynamic_run, native_gen2,
+                static_report, dyn_report, verdict)
+
+    (native_gen1, static_run, dynamic_run, native_gen2,
+     static_report, dyn_report, verdict) = run_once(benchmark, experiment)
+
+    rows = [
+        {"path": "native on gen1 (customized)", "cycles/run": native_gen1.cycles,
+         "vs gen2 native": round(native_gen1.cycles / native_gen2.cycles, 2),
+         "one-time cost (cycles)": 0},
+        {"path": "static translation to gen2", "cycles/run": static_run.cycles,
+         "vs gen2 native": round(static_run.cycles / native_gen2.cycles, 2),
+         "one-time cost (cycles)": static_report.translation_overhead_cycles},
+        {"path": "dynamic re-optimization on gen2", "cycles/run": dynamic_run.cycles,
+         "vs gen2 native": round(dynamic_run.cycles / native_gen2.cycles, 2),
+         "one-time cost (cycles)": dyn_report.translation_overhead_cycles},
+        {"path": "native recompile for gen2", "cycles/run": native_gen2.cycles,
+         "vs gen2 native": 1.0, "one-time cost (cycles)": 0},
+    ]
+    print_table(f"E4: moving a gen1 binary to gen2 ({KERNEL})", rows)
+    print(f"\nE4: compatibility verdict gen1+custom -> gen2: remedy '{verdict.remedy}', "
+          f"binary compatible: {verdict.runs_unmodified}; "
+          f"{static_report.custom_ops_expanded} custom-op sites expanded.")
+
+    model = StagedExecutionModel(
+        native_cycles=native_gen2.cycles,
+        translated_cycles=static_run.cycles,
+        translation_cost=static_report.translation_overhead_cycles,
+        reoptimization_cost=dyn_report.translation_overhead_cycles,
+    )
+    amortisation = [{"runs": runs,
+                     "avg overhead vs native": round(model.average_overhead(runs), 2)}
+                    for runs in (1, 3, 10, 30, 100, 1000)]
+    print_table("E4: translation-cost amortisation", amortisation)
+
+    assert not verdict.runs_unmodified          # drift really did break compatibility
+    assert static_run.cycles >= native_gen2.cycles   # translated code is no faster than native
+    assert model.average_overhead(1000) < model.average_overhead(1)

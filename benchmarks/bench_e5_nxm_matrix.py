@@ -1,0 +1,44 @@
+"""E5 — mass customization discipline (§3.1): the N×M validation matrix.
+
+N architectures x M programs, every cell compiled by the same table-driven
+toolchain, executed on the cycle simulator and validated against both the
+Python oracle and the machine-independent functional simulation.  The
+pass-rate of the matrix is the quantitative form of "all toolchain changes
+support all architectures in range".
+"""
+
+from __future__ import annotations
+
+from repro.arch import clustered_vliw4, dsp_core, risc_baseline, vliw2, vliw4, vliw8
+from repro.toolchain import run_matrix
+
+from conftest import print_table, run_once
+
+MACHINES = [risc_baseline(), vliw2(), vliw4(), vliw8(), clustered_vliw4(), dsp_core()]
+KERNELS = ["dot_product", "saturated_add", "viterbi_acs", "sad16",
+           "rgb_to_gray", "ip_checksum", "histogram"]
+SIZE = 24
+
+
+def test_e5_nxm_matrix(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: run_matrix(MACHINES, kernel_names=KERNELS, size=SIZE, opt_level=2),
+    )
+
+    print_table("E5: N x M matrix (per-cell cycles / correctness)", report.to_rows())
+
+    grid_rows = []
+    for kernel in report.kernels:
+        row = {"kernel": kernel}
+        for machine in report.machines:
+            cell = report.cell(machine, kernel)
+            row[machine] = cell.cycles if cell.correct else "FAIL"
+        grid_rows.append(row)
+    print_table("E5: cycles per (kernel, machine) cell", grid_rows)
+    print(f"\nE5 summary: {len(report.cells)} cells "
+          f"({len(report.machines)} architectures x {len(report.kernels)} programs), "
+          f"pass rate {100 * report.pass_rate():.1f}%.")
+
+    assert len(report.cells) == len(MACHINES) * len(KERNELS)
+    assert report.all_correct, [c.error for c in report.failures]

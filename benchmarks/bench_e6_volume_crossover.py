@@ -1,0 +1,62 @@
+"""E6 — Barrier 3 (§4): can low-volume customized processors be competitive?
+
+Sweeps product volume and compares the per-unit price of (a) buying the
+mass-market high-performance embedded processor (huge cumulative volume,
+merchant margin, no NRE for the buyer) against (b) building a customized
+SoC core (the product pays the NRE, internal cost-plus margin).  The
+crossover volume is reported, and the §4.1 system-on-chip comparison shows
+integration flipping the answer at product level even below the chip-level
+crossover.
+"""
+
+from __future__ import annotations
+
+from repro.econ import (
+    ChipProject, cost_vs_volume, crossover_volume, integration_advantage,
+    reference_set_top_design, unit_price,
+)
+
+from conftest import print_table, run_once
+
+VOLUMES = [10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+           1_000_000, 2_000_000, 5_000_000]
+
+
+def test_e6_volume_crossover(benchmark):
+    custom = ChipProject("custom_soc_core", core_kgates=180, sram_kbytes=24,
+                         nre_usd=2_500_000, margin=1.2)
+    mass = ChipProject("mass_market_cpu", core_kgates=650, sram_kbytes=32,
+                       nre_usd=0.0, cumulative_volume=20_000_000, margin=3.0)
+
+    def experiment():
+        rows = []
+        for volume in VOLUMES:
+            custom_at = ChipProject(custom.name, custom.core_kgates, custom.sram_kbytes,
+                                    custom.nre_usd, volume, None, custom.margin)
+            mass_at = ChipProject(mass.name, mass.core_kgates, mass.sram_kbytes,
+                                  0.0, volume, mass.cumulative_volume, mass.margin)
+            custom_price = unit_price(custom_at)
+            mass_price = unit_price(mass_at)
+            rows.append({
+                "volume": volume,
+                "custom SoC $/unit": round(custom_price, 2),
+                "mass-market $/unit": round(mass_price, 2),
+                "custom wins": custom_price <= mass_price,
+            })
+        crossover = crossover_volume(custom, mass, VOLUMES)
+        soc_rows = [integration_advantage(reference_set_top_design(volume=v), 35.0)
+                    for v in (100_000, 500_000, 2_000_000)]
+        return rows, crossover, soc_rows
+
+    rows, crossover, soc_rows = run_once(benchmark, experiment)
+
+    print_table("E6: per-unit price vs product volume", rows)
+    print(f"\nE6: chip-level crossover volume (custom cheaper than mass-market): "
+          f"{crossover:,} units" if crossover else "\nE6: no crossover in range")
+    print_table("E6 / §4.1: discrete processor vs SoC integration at product level",
+                soc_rows)
+
+    assert crossover is not None
+    assert rows[0]["custom SoC $/unit"] > rows[0]["mass-market $/unit"]
+    assert rows[-1]["custom SoC $/unit"] < rows[-1]["mass-market $/unit"]
+    assert all(row["soc_wins"] for row in soc_rows)

@@ -1,0 +1,138 @@
+"""E7 — §6.1: tailor to an application area, not an application.
+
+The processor is frozen long before the software: customizing for exactly
+today's kernel risks customizing for the wrong thing.  This experiment
+customizes a 4-issue VLIW two ways — for a single kernel versus for the
+whole cellphone-style mix — then measures every kernel of the area
+(including ones the single-kernel customization never saw) on both, and
+feeds the results through the development-cycle risk model to find the
+workload-churn level at which area-tailoring wins.
+"""
+
+from __future__ import annotations
+
+from repro.arch import vliw4
+from repro.backend import compile_module
+from repro.core import IsaCustomizer, SelectionConfig, EnumerationConfig
+from repro.core.library import global_extension_library
+from repro.econ import DevelopmentCycleModel, KernelOutcome
+from repro.frontend import compile_c
+from repro.opt import optimize
+from repro.sim import CycleSimulator
+from repro.workloads import get_kernel, get_mix
+
+from conftest import print_table, run_once
+
+MIX = "cellphone"
+TARGET_KERNEL = "viterbi_acs"       # what the single-application design targets
+SIZE = 32
+BUDGET = 40.0
+
+
+def _modules_for_mix(mix):
+    modules = {}
+    for kernel, weight in mix.kernels():
+        module = compile_c(kernel.source, module_name=kernel.name)
+        optimize(module, level=3)
+        modules[kernel.name] = (module, weight)
+    return modules
+
+
+def _measure(machine, module, kernel):
+    compiled, _ = compile_module(module, machine)
+    args = kernel.arguments(SIZE)
+    result = CycleSimulator(compiled).run(
+        kernel.entry, *[list(a) if isinstance(a, list) else a for a in args])
+    assert result.value == kernel.expected(args)
+    return result.cycles
+
+
+def test_e7_application_area(benchmark):
+    mix = get_mix(MIX)
+
+    def experiment():
+        base = vliw4()
+
+        # Baseline cycles for every kernel on the uncustomized machine.
+        baseline_modules = _modules_for_mix(mix)
+        baseline = {name: _measure(base, module, get_kernel(name))
+                    for name, (module, _w) in baseline_modules.items()}
+
+        # (a) customize for one application only.
+        exact_customizer = IsaCustomizer(
+            base, enumeration=EnumerationConfig(max_outputs=1),
+            selection_config=SelectionConfig(area_budget_kgates=BUDGET))
+        exact_modules = _modules_for_mix(mix)
+        exact_result = exact_customizer.customize(
+            exact_modules[TARGET_KERNEL][0], name="vliw4+exact")
+        # Apply its (narrow) extension library to the rest of the area.
+        for name, (module, _w) in exact_modules.items():
+            if name != TARGET_KERNEL:
+                exact_customizer.apply_to(module, exact_result.machine)
+        exact_cycles = {name: _measure(exact_result.machine, module, get_kernel(name))
+                        for name, (module, _w) in exact_modules.items()}
+
+        # (b) customize for the whole application area (weighted mix).
+        area_customizer = IsaCustomizer(
+            base, enumeration=EnumerationConfig(max_outputs=1),
+            selection_config=SelectionConfig(area_budget_kgates=BUDGET))
+        area_modules = _modules_for_mix(mix)
+        weighted = [(module, weight) for module, weight in area_modules.values()]
+        area_result = area_customizer.customize_for_area(weighted, name="vliw4+area")
+        area_cycles = {name: _measure(area_result.machine, module, get_kernel(name))
+                       for name, (module, _w) in area_modules.items()}
+
+        return baseline, exact_cycles, area_cycles, exact_result, area_result
+
+    baseline, exact_cycles, area_cycles, exact_result, area_result = run_once(
+        benchmark, experiment)
+
+    rows = []
+    for name in mix.names():
+        rows.append({
+            "kernel": name,
+            "targeted by exact design": name == TARGET_KERNEL,
+            "baseline cycles": baseline[name],
+            "exact-design cycles": exact_cycles[name],
+            "area-design cycles": area_cycles[name],
+            "exact speedup": round(baseline[name] / exact_cycles[name], 2),
+            "area speedup": round(baseline[name] / area_cycles[name], 2),
+        })
+    print_table(f"E7: exact vs application-area customization ({MIX} mix)", rows)
+
+    weights = dict(mix.weights)
+    exact_outcomes = []
+    area_outcomes = []
+    for name in mix.names():
+        exact_outcomes.append(KernelOutcome(
+            name,
+            speedup_if_targeted=baseline[name] / exact_cycles[name],
+            speedup_if_untargeted=1.0))
+        area_outcomes.append(KernelOutcome(
+            name,
+            speedup_if_targeted=baseline[name] / area_cycles[name],
+            speedup_if_untargeted=min(baseline[name] / area_cycles[name], 1.15)))
+    model = DevelopmentCycleModel(freeze_to_ship_months=12, monthly_change_rate=0.05)
+    survival = model.survival_probability()
+    expected_rows = [{
+        "design": "exact (single kernel)",
+        "expected speedup @ survival": round(model.expected_speedup(
+            exact_outcomes, list(weights.values()), survival), 3),
+        "custom ops": exact_result.report.operations_selected,
+    }, {
+        "design": "area (weighted mix)",
+        "expected speedup @ survival": round(model.expected_speedup(
+            area_outcomes, list(weights.values()), survival), 3),
+        "custom ops": area_result.report.operations_selected,
+    }]
+    print_table(f"E7: expected speedup under workload churn "
+                f"(12-month freeze, survival {survival:.2f})", expected_rows)
+
+    # Shape checks: the area design helps the whole mix; the exact design is
+    # at least as good on its target kernel and no better on the others.
+    area_mean = sum(r["area speedup"] for r in rows) / len(rows)
+    exact_offtarget = [r["exact speedup"] for r in rows if not r["targeted by exact design"]]
+    assert area_mean > 1.05
+    assert rows and max(exact_offtarget) <= max(r["area speedup"] for r in rows) + 0.05
+    assert (expected_rows[1]["expected speedup @ survival"]
+            >= expected_rows[0]["expected speedup @ survival"] - 0.05)

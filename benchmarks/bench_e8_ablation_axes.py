@@ -1,0 +1,48 @@
+"""E8 — §1.2: the visible-customization axes, ablated one at a time.
+
+Starting from the 4-issue VLIW reference, each architecturally visible
+change the paper enumerates (issue width, register count, clusters,
+specialised units, latencies, instruction compression, custom operations)
+is varied in isolation and the video workload mix re-measured.
+"""
+
+from __future__ import annotations
+
+from repro.arch import vliw4
+from repro.dse import Evaluator, run_ablation
+from repro.workloads import get_mix
+
+from conftest import print_table, run_once
+
+MIX = "video"
+SIZE = 24
+
+
+def test_e8_ablation_axes(benchmark):
+    evaluator = Evaluator(get_mix(MIX), size=SIZE, opt_level=3)
+
+    rows = run_once(benchmark,
+                    lambda: run_ablation(evaluator, vliw4(), custom_budget=40.0))
+
+    table = [row.as_dict() for row in rows]
+    print_table(f"E8: per-axis ablation from vliw4 ({MIX} mix)", table)
+
+    by_axis = {}
+    for row in rows:
+        if row.axis == "reference" or not row.evaluation.feasible:
+            continue
+        by_axis.setdefault(row.axis, []).append(row.speedup)
+    summary = [{"axis": axis,
+                "best speedup": round(max(speedups), 3),
+                "worst speedup": round(min(speedups), 3)}
+               for axis, speedups in sorted(by_axis.items())]
+    print_table("E8: best/worst effect per customization axis", summary)
+
+    reference = next(r for r in rows if r.axis == "reference")
+    assert reference.evaluation.feasible
+    # Every axis was measured and produced a feasible machine somewhere.
+    assert {"issue_width", "registers", "fu_mix", "latency", "encoding",
+            "custom_ops"} <= set(by_axis)
+    # Custom operations and issue width should both matter on this mix.
+    assert max(by_axis["custom_ops"]) > 1.0
+    assert max(by_axis["issue_width"]) > 1.0

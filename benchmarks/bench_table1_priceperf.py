@@ -1,0 +1,44 @@
+"""E1 — Table 1 of the paper: Pentium II price vs. performance.
+
+Regenerates the table exactly as printed (prices, Winstone, Quake II and
+the two Perf/Price columns) and the premium analysis that the paper's
+§1.4 argument rests on: the performance/price ratio falls sharply toward
+the high end of the product line.
+"""
+
+from __future__ import annotations
+
+from repro.econ import (
+    TABLE1_PUBLISHED_RATIOS, analyze_premium, compute_table1,
+    matches_published_ratios,
+)
+
+from conftest import print_table, run_once
+
+
+def test_table1_price_performance(benchmark):
+    def experiment():
+        table = compute_table1()
+        premium = analyze_premium()
+        return table, premium
+
+    table, premium = run_once(benchmark, experiment)
+
+    print_table("E1 / Table 1: Pentium II price and performance (Oct 1998)", table)
+    published = [
+        {"winstone_per_dollar (paper)": row["winstone_per_dollar"],
+         "quake_per_dollar (paper)": row["quake_per_dollar"]}
+        for row in TABLE1_PUBLISHED_RATIOS
+    ]
+    print_table("E1: Perf/Price columns as published", published)
+    print_table("E1: high-end premium analysis", [{
+        "winstone perf/price spread (best/worst)": round(premium.winstone_ratio_spread, 2),
+        "quake perf/price spread (best/worst)": round(premium.quake_ratio_spread, 2),
+        "$/Winstone point (low end)": round(premium.marginal_cost_low, 1),
+        "$/Winstone point (high end)": round(premium.marginal_cost_high, 1),
+        "price ~ perf^k exponent": round(premium.price_performance_exponent, 2),
+    }])
+
+    assert matches_published_ratios()
+    assert premium.winstone_ratio_spread > 2.0
+    assert premium.marginal_cost_high > premium.marginal_cost_low

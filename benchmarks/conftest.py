@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks (E1-E8).
+
+Each benchmark file regenerates one table of EXPERIMENTS.md: it runs the
+relevant pipeline once under pytest-benchmark (pedantic mode, single
+round — the interesting output is the table, not the wall-clock of the
+harness itself) and prints the rows in a fixed-width format so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the experiment
+tables directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.core import reset_global_library
+
+
+@pytest.fixture(autouse=True)
+def _clean_library():
+    reset_global_library()
+    yield
+    reset_global_library()
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r.get(c, ""))) for r in rows))
+              for c in columns}
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,85 @@
+"""ISA drift in practice: moving a shipped binary across family members.
+
+A codec kernel is built and ISA-customized for generation 1 of a processor
+family.  Generation 2 drops gen-1's custom operations (it was customized
+for a different product).  The script shows the four ways of coping that
+paper §2 discusses — and what each costs — plus the code-cache staging
+that amortises the one-time translation work.
+
+Run with:  python examples/isa_drift_migration.py
+"""
+
+from __future__ import annotations
+
+from repro.arch import vliw4
+from repro.backend import compile_module
+from repro.core import customize_isa
+from repro.drift import BinaryTranslator, StagedExecutionModel, assess
+from repro.frontend import compile_c
+from repro.opt import optimize
+from repro.sim import CycleSimulator
+from repro.workloads import get_kernel
+
+
+def main() -> None:
+    kernel = get_kernel("alpha_blend")
+    args = kernel.arguments(64)
+    run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+
+    # Generation 1: customized for this codec.
+    module = compile_c(kernel.source, module_name=kernel.name)
+    optimize(module, level=3)
+    gen1 = vliw4("gen1")
+    customization = customize_isa(module, gen1, area_budget_kgates=40.0,
+                                  name="gen1_custom")
+    gen1_machine = customization.machine
+    gen1_binary, _ = compile_module(module, gen1_machine)
+    native1 = CycleSimulator(gen1_binary).run(kernel.entry, *run_args)
+    print(f"gen1 (customized) native build : {native1.cycles} cycles/run, "
+          f"{len(gen1_machine.custom_ops)} custom ops")
+
+    # Generation 2 drifts: same width, none of gen1's custom operations.
+    gen2 = vliw4("gen2")
+    verdict = assess(gen1_machine, gen2)
+    print(f"\ngen1_custom -> gen2 drift      : binary compatible? "
+          f"{verdict.runs_unmodified}; suggested remedy: {verdict.remedy}")
+    for reason in verdict.reasons:
+        print(f"   - {reason}")
+
+    translator = BinaryTranslator()
+
+    translated, static_report = translator.translate(gen1_binary, gen2)
+    static = CycleSimulator(translated).run(kernel.entry, *run_args)
+    print(f"\nstatic translation to gen2     : {static.cycles} cycles/run "
+          f"({static_report.custom_ops_expanded} fused ops expanded, "
+          f"one-time cost {static_report.translation_overhead_cycles} cycles)")
+
+    reoptimized, dynamic_report = translator.translate(gen1_binary, gen2,
+                                                       reoptimize=True)
+    dynamic = CycleSimulator(reoptimized).run(kernel.entry, *run_args)
+    print(f"dynamic re-optimization on gen2: {dynamic.cycles} cycles/run "
+          f"(one-time cost {dynamic_report.translation_overhead_cycles} cycles)")
+
+    fresh = compile_c(kernel.source, module_name=kernel.name)
+    optimize(fresh, level=3)
+    gen2_binary, _ = compile_module(fresh, gen2)
+    native2 = CycleSimulator(gen2_binary).run(kernel.entry, *run_args)
+    print(f"native recompile for gen2      : {native2.cycles} cycles/run")
+
+    assert native1.value == static.value == dynamic.value == native2.value
+
+    model = StagedExecutionModel(
+        native_cycles=native2.cycles,
+        translated_cycles=static.cycles,
+        translation_cost=static_report.translation_overhead_cycles,
+        reoptimization_cost=dynamic_report.translation_overhead_cycles,
+    )
+    print("\nAmortisation of the one-time costs (average overhead vs native):")
+    for runs in (1, 5, 20, 100, 1000):
+        print(f"   after {runs:>5} runs: {model.average_overhead(runs):5.2f}x")
+    breakeven = model.break_even_runs(tolerance=1.10)
+    print(f"   within 10% of native after {breakeven} runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Barriers 3-5 in numbers: volume economics, SoC integration, dev-cycle risk.
+
+Reproduces the paper's economic argument end to end:
+
+* Table-1-style price/performance premium at the high end,
+* per-unit cost of a customized SoC core vs. a mass-market processor as a
+  function of product volume (Barrier 3), with the §4.1 SoC comparison,
+* the §6 development-cycle model: how workload churn between processor
+  freeze and shipment decides between exact and application-area tailoring.
+
+Run with:  python examples/volume_economics.py
+"""
+
+from __future__ import annotations
+
+from repro.econ import (
+    ChipProject, DevelopmentCycleModel, KernelOutcome, analyze_premium,
+    compute_table1, crossover_volume, integration_advantage,
+    reference_set_top_design, unit_price,
+)
+
+
+def main() -> None:
+    # --- Table 1: the high-end premium -------------------------------
+    print("Table 1 (Pentium II, October 1998):")
+    for row in compute_table1():
+        print(f"   {row['core_mhz']:>3} MHz  ${row['price_usd']:>6.0f}  "
+              f"Winstone {row['business_winstone']:>4.1f}  "
+              f"perf/price {row['winstone_per_dollar']:.3f}")
+    premium = analyze_premium()
+    print(f"   -> perf/price falls {premium.winstone_ratio_spread:.1f}x from the "
+          f"bottom to the top of the line; the last Winstone point costs "
+          f"${premium.marginal_cost_high:.0f} vs ${premium.marginal_cost_low:.0f} "
+          f"at the low end.\n")
+
+    # --- Barrier 3: custom vs mass-market vs volume ------------------
+    custom = ChipProject("custom_soc_core", core_kgates=180, sram_kbytes=24,
+                         nre_usd=2_500_000, margin=1.2)
+    mass = ChipProject("mass_market_cpu", core_kgates=650, sram_kbytes=32,
+                       nre_usd=0.0, cumulative_volume=20_000_000, margin=3.0)
+    volumes = [10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 5_000_000]
+    print("Per-unit price vs product volume:")
+    print(f"   {'volume':>10} {'custom SoC':>12} {'mass-market':>12}")
+    for volume in volumes:
+        custom_at = ChipProject(custom.name, custom.core_kgates, custom.sram_kbytes,
+                                custom.nre_usd, volume, None, custom.margin)
+        mass_at = ChipProject(mass.name, mass.core_kgates, mass.sram_kbytes,
+                              0.0, volume, mass.cumulative_volume, mass.margin)
+        print(f"   {volume:>10,} {unit_price(custom_at):>11.2f}$ "
+              f"{unit_price(mass_at):>11.2f}$")
+    crossover = crossover_volume(custom, mass, volumes)
+    print(f"   -> the customized core wins above ~{crossover:,} units.\n")
+
+    # --- §4.1: SoC integration changes the equation ------------------
+    print("System-on-chip integration (set-top-class product):")
+    for volume in (100_000, 500_000, 2_000_000):
+        row = integration_advantage(reference_set_top_design(volume=volume), 35.0)
+        print(f"   volume {volume:>9,}: discrete ${row['discrete_total_usd']:>6.2f}  "
+              f"SoC ${row['soc_total_usd']:>6.2f}  saving ${row['saving_usd']:>6.2f}")
+    print()
+
+    # --- Barrier 5 / §6.1: tailor to an area, not an application -----
+    model = DevelopmentCycleModel(freeze_to_ship_months=12, monthly_change_rate=0.05)
+    exact = [KernelOutcome("target", speedup_if_targeted=1.8, speedup_if_untargeted=1.0)]
+    area = [KernelOutcome("target", speedup_if_targeted=1.45, speedup_if_untargeted=1.3)]
+    print("Development-cycle risk (12-month freeze-to-ship window):")
+    print(f"   probability today's kernel still ships unchanged: "
+          f"{model.survival_probability():.2f}")
+    for survival in (1.0, 0.8, 0.6, 0.4, 0.2):
+        exact_speedup = model.expected_speedup(exact, survival=survival)
+        area_speedup = model.expected_speedup(area, survival=survival)
+        winner = "exact" if exact_speedup > area_speedup else "area"
+        print(f"   survival {survival:.1f}: exact {exact_speedup:.2f}x, "
+              f"area {area_speedup:.2f}x  -> tailor to the {winner}")
+    crossover_p = model.crossover_survival(exact, area)
+    print(f"   -> below ~{crossover_p:.2f} survival probability, tailoring to the "
+          f"application *area* is the better bet (the paper's §6.1 advice).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro: customized instruction-sets for embedded processors.
+
+A reproduction of the system envisioned by J. A. Fisher, "Customized
+Instruction-Sets for Embedded Processors", DAC 1999: a mass-customizable
+VLIW toolchain (C front end, optimizer, table-driven retargetable back
+end, functional and cycle-level simulators), automated instruction-set
+extension (identification, selection, rewriting), design-space
+exploration, ISA-drift/binary-translation machinery, and the economic
+models behind the paper's five barriers.
+
+Typical use::
+
+    from repro import Toolchain, vliw4
+    from repro.workloads import get_kernel
+
+    kernel = get_kernel("sad16")
+    toolchain = Toolchain(vliw4())
+    module = toolchain.frontend(kernel.source, kernel.name)
+    custom = toolchain.customize(module, area_budget_kgates=30.0)
+    artifacts = custom.build(module)
+    result = custom.run(artifacts, kernel.entry, *kernel.arguments())
+    print(result.cycles, result.energy_uj)
+"""
+
+from .arch import (
+    MachineDescription, clustered_vliw4, dsp_core, get_preset,
+    mass_market_superscalar, risc_baseline, vliw, vliw2, vliw4, vliw8,
+)
+from .core import IsaCustomizer, customize_isa
+from .frontend import compile_c
+from .ir import IRBuilder, Module
+from .opt import optimize
+from .sim import CycleSimulator, FunctionalSimulator
+from .toolchain import Toolchain, run_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineDescription", "clustered_vliw4", "dsp_core", "get_preset",
+    "mass_market_superscalar", "risc_baseline", "vliw", "vliw2", "vliw4",
+    "vliw8",
+    "IsaCustomizer", "customize_isa",
+    "compile_c",
+    "IRBuilder", "Module",
+    "optimize",
+    "CycleSimulator", "FunctionalSimulator",
+    "Toolchain", "run_matrix",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Table-driven architecture descriptions for the customizable VLIW family.
+
+This package is the "contract between the hardware and the software" in
+machine-readable form: machine descriptions (issue width, clusters,
+registers, functional units, latencies, caches, encoding, custom
+operations), the base-operation classification tables, first-order area,
+power and code-size models, preset machines, and ISA-family/drift
+bookkeeping.
+"""
+
+from .operations import (
+    DEFAULT_ENERGY_PJ, DEFAULT_LATENCY, OPCODE_CLASS, OperationClass, classify,
+)
+from .machine import (
+    CacheConfig, CustomOperation, FunctionalUnit, MachineConfigError,
+    MachineDescription, default_functional_units,
+)
+from .area import (
+    AreaReport, BASE_CONTROL_KGATES, CACHE_KGATES_PER_KB, REGISTER_KGATES,
+    SUPERSCALAR_SLOT_CONTROL_KGATES, UNIT_AREA_KGATES, VLIW_SLOT_CONTROL_KGATES,
+    area_ratio, estimate_area,
+)
+from .power import EnergyModel, EnergyReport, STATIC_MW_PER_KGATE
+from .encoding import (
+    CodeSizeReport, DEFAULT_OPCODE_BUDGET, code_size, encoding_budget_used,
+    fits_encoding_budget, opcode_points_required,
+)
+from .presets import (
+    PRESETS, clustered_vliw4, dsp_core, get_preset, mass_market_superscalar,
+    risc_baseline, vliw, vliw2, vliw4, vliw8,
+)
+from .family import DriftRecord, IsaFamily, compute_drift
+
+__all__ = [
+    "DEFAULT_ENERGY_PJ", "DEFAULT_LATENCY", "OPCODE_CLASS", "OperationClass",
+    "classify",
+    "CacheConfig", "CustomOperation", "FunctionalUnit", "MachineConfigError",
+    "MachineDescription", "default_functional_units",
+    "AreaReport", "BASE_CONTROL_KGATES", "CACHE_KGATES_PER_KB",
+    "REGISTER_KGATES", "SUPERSCALAR_SLOT_CONTROL_KGATES", "UNIT_AREA_KGATES",
+    "VLIW_SLOT_CONTROL_KGATES", "area_ratio", "estimate_area",
+    "EnergyModel", "EnergyReport", "STATIC_MW_PER_KGATE",
+    "CodeSizeReport", "DEFAULT_OPCODE_BUDGET", "code_size",
+    "encoding_budget_used", "fits_encoding_budget", "opcode_points_required",
+    "PRESETS", "clustered_vliw4", "dsp_core", "get_preset",
+    "mass_market_superscalar", "risc_baseline", "vliw", "vliw2", "vliw4",
+    "vliw8",
+    "DriftRecord", "IsaFamily", "compute_drift",
+]

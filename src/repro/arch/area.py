@@ -1,0 +1,142 @@
+"""First-order silicon area model for machine descriptions.
+
+The paper's proprietary substrate had real layout data; we substitute a
+parametric gate-count model with constants calibrated to publicly quoted
+late-1990s figures (a simple 32-bit RISC integer core is on the order of
+100K gates plus caches; a 32x32 multiplier is ~20K gates; an SRAM bit is
+~1.5 gate-equivalents with overheads).  Absolute numbers are indicative
+only — the experiments (notably E2) rely on *relative* areas, i.e. whether
+a 4-issue customized VLIW datapath fits in roughly the area of a scalar
+RISC with its superscalar-style control removed (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .machine import MachineDescription
+from .operations import OperationClass
+
+#: Gate cost (kgates) of one functional unit instance, per operation class.
+UNIT_AREA_KGATES: Dict[OperationClass, float] = {
+    OperationClass.IALU: 8.0,
+    OperationClass.IMUL: 22.0,
+    OperationClass.IDIV: 14.0,
+    OperationClass.FPU: 45.0,
+    OperationClass.FDIV: 20.0,
+    OperationClass.MEM: 10.0,     # AGU + load/store queue slice
+    OperationClass.BRANCH: 5.0,
+    OperationClass.CUSTOM: 0.0,   # custom units carry their own area
+    OperationClass.NOP: 0.0,
+}
+
+#: kgates per architectural register (32-bit, multiported register file).
+#: Cost grows with the square root of port count which we approximate by
+#: scaling with issue width in :func:`estimate_area`.
+REGISTER_KGATES = 0.55
+
+#: Fixed overhead of fetch/decode/sequencing for a scalar exposed-pipeline
+#: core (no reorder/rename machinery — that is the point of §2.2).
+BASE_CONTROL_KGATES = 18.0
+
+#: Incremental decode/dispatch cost per additional issue slot for an
+#: exposed (VLIW) encoding: near-linear and small, because the compiler
+#: does the scheduling.
+VLIW_SLOT_CONTROL_KGATES = 4.0
+
+#: Control cost per issue slot for a *binary-compatible* dynamically
+#: scheduled implementation (rename, wakeup/select, reorder buffer slice).
+#: Grows super-linearly; used only for the comparison in experiment E2.
+SUPERSCALAR_SLOT_CONTROL_KGATES = 55.0
+
+#: kgates per kilobyte of cache SRAM (array + tags + comparators).
+CACHE_KGATES_PER_KB = 12.0
+
+
+@dataclass
+class AreaReport:
+    """Break-down of the estimated area of a machine (in kgates)."""
+
+    control: float
+    functional_units: float
+    register_files: float
+    custom_units: float
+    caches: float
+
+    @property
+    def core(self) -> float:
+        """Core area excluding caches."""
+        return (self.control + self.functional_units + self.register_files
+                + self.custom_units)
+
+    @property
+    def total(self) -> float:
+        return self.core + self.caches
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "control": self.control,
+            "functional_units": self.functional_units,
+            "register_files": self.register_files,
+            "custom_units": self.custom_units,
+            "caches": self.caches,
+            "core": self.core,
+            "total": self.total,
+        }
+
+
+def estimate_area(machine: MachineDescription,
+                  dynamically_scheduled: bool = False) -> AreaReport:
+    """Estimate the silicon area of ``machine`` in kgates.
+
+    ``dynamically_scheduled`` costs the control logic as an out-of-order,
+    binary-compatible implementation instead of an exposed VLIW pipeline;
+    it exists to quantify the §2.2 claim that dropping compatibility
+    hardware pays for the extra issue slots.
+    """
+    slot_control = (SUPERSCALAR_SLOT_CONTROL_KGATES if dynamically_scheduled
+                    else VLIW_SLOT_CONTROL_KGATES)
+    # Superscalar control grows faster than linearly with width; model the
+    # wakeup/select + bypass quadratic term explicitly.
+    width = machine.issue_width
+    if dynamically_scheduled:
+        control = BASE_CONTROL_KGATES + slot_control * width + 6.0 * width * width
+    else:
+        control = BASE_CONTROL_KGATES + slot_control * (width - 1)
+
+    units = 0.0
+    for fu in machine.functional_units:
+        per_unit = max(UNIT_AREA_KGATES[c] for c in fu.classes)
+        units += per_unit * fu.count
+
+    # Register file cost scales with register count and with the port count
+    # needed to feed the per-cluster issue width (2 reads + 1 write per slot).
+    ports = 3 * machine.cluster_issue_width
+    port_factor = max(1.0, ports / 3.0) ** 0.5
+    registers = (REGISTER_KGATES * machine.total_registers * port_factor)
+
+    custom = sum(op.area_kgates for op in machine.custom_ops.values())
+
+    caches = 0.0
+    for cache in (machine.icache, machine.dcache):
+        if cache is not None:
+            caches += CACHE_KGATES_PER_KB * (cache.size_bytes / 1024.0)
+
+    return AreaReport(
+        control=control,
+        functional_units=units,
+        register_files=registers,
+        custom_units=custom,
+        caches=caches,
+    )
+
+
+def area_ratio(machine: MachineDescription, baseline: MachineDescription,
+               include_caches: bool = False) -> float:
+    """Core-area ratio machine/baseline (the §2.2 comparison)."""
+    a = estimate_area(machine)
+    b = estimate_area(baseline)
+    if include_caches:
+        return a.total / b.total
+    return a.core / b.core

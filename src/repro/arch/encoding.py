@@ -1,0 +1,114 @@
+"""Instruction-encoding and code-size model.
+
+VLIW machines pay for their exposed parallelism in code size: every issue
+slot is a syllable, and empty slots must either be encoded as NOPs or
+squeezed out by a compressed ("variable-length bundle") encoding — the
+"visible instruction compression" item of paper §1.2.  This module turns a
+scheduled program into bytes of instruction memory, and also models how
+many opcode points a custom-operation extension consumes (the encoding
+budget constraint used by the ISE selector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .machine import MachineDescription
+
+
+@dataclass
+class CodeSizeReport:
+    """Static code-size accounting for one compiled function or module."""
+
+    bundles: int
+    operations: int
+    nops: int
+    bytes_uncompressed: int
+    bytes_compressed: int
+
+    @property
+    def bytes_effective(self) -> int:
+        """Bytes actually stored given the machine's encoding choice."""
+        return self.bytes_compressed if self.compressed else self.bytes_uncompressed
+
+    compressed: bool = False
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "bundles": self.bundles,
+            "operations": self.operations,
+            "nops": self.nops,
+            "bytes_uncompressed": self.bytes_uncompressed,
+            "bytes_compressed": self.bytes_compressed,
+            "bytes_effective": self.bytes_effective,
+        }
+
+
+def code_size(machine: MachineDescription, bundle_op_counts: List[int]) -> CodeSizeReport:
+    """Compute code size for a schedule.
+
+    ``bundle_op_counts`` holds, for each issued bundle (long instruction),
+    the number of real operations it contains; the rest of the
+    ``issue_width`` slots are NOPs in the uncompressed encoding.
+
+    The compressed encoding models the classic stop-bit scheme: only real
+    operations are stored (one syllable each, plus one template byte per
+    bundle), which is how VLIWs such as the HP/ST Lx avoid NOP bloat.
+    """
+    syllable_bytes = machine.syllable_bits // 8
+    bundles = len(bundle_op_counts)
+    operations = sum(bundle_op_counts)
+    nops = bundles * machine.issue_width - operations
+
+    uncompressed = bundles * machine.issue_width * syllable_bytes
+    compressed = operations * syllable_bytes + bundles  # + template byte
+
+    return CodeSizeReport(
+        bundles=bundles,
+        operations=operations,
+        nops=nops,
+        bytes_uncompressed=uncompressed,
+        bytes_compressed=compressed,
+        compressed=machine.compressed_encoding,
+    )
+
+
+# ----------------------------------------------------------------------
+# Opcode-space budgeting for ISA extensions.
+# ----------------------------------------------------------------------
+
+#: Number of primary opcode points available for custom operations in a
+#: 32-bit syllable with a 6-bit major opcode field (the remainder is used
+#: by the base ISA).
+DEFAULT_OPCODE_BUDGET = 16
+
+
+def opcode_points_required(num_inputs: int, num_outputs: int) -> int:
+    """Opcode points one custom operation consumes.
+
+    Operations with more than 2 inputs or more than 1 output need longer
+    encodings (extra register specifiers) and are charged extra points,
+    modelling the encoding pressure that limits how many wide fused
+    operations an ISA can afford.
+    """
+    points = 1
+    if num_inputs > 2:
+        points += num_inputs - 2
+    if num_outputs > 1:
+        points += 2 * (num_outputs - 1)
+    return points
+
+
+def encoding_budget_used(machine: MachineDescription) -> int:
+    """Total opcode points consumed by a machine's custom operations."""
+    return sum(
+        opcode_points_required(op.num_inputs, op.num_outputs)
+        for op in machine.custom_ops.values()
+    )
+
+
+def fits_encoding_budget(machine: MachineDescription,
+                         budget: int = DEFAULT_OPCODE_BUDGET) -> bool:
+    """True if the machine's extensions fit in the opcode budget."""
+    return encoding_budget_used(machine) <= budget

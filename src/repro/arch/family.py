@@ -1,0 +1,160 @@
+"""ISA families and "ISA drift" descriptors.
+
+Paper §2 predicts that architectures will become *families* of ISAs that
+are, by 1999 standards, mutually incompatible — differing in issue width,
+register count, latencies and custom operations — while remaining
+compatible in practice because binaries are re-targeted after distribution
+(object-code translation, dynamic optimization).  This module captures the
+family structure: a base member plus derived members, with a machine-level
+diff (the *drift*) between any two members that the translator in
+:mod:`repro.drift` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .machine import MachineDescription
+
+
+@dataclass
+class DriftRecord:
+    """The architecturally-visible differences between two family members."""
+
+    source: str
+    target: str
+    issue_width_change: int = 0
+    register_change: int = 0
+    cluster_change: int = 0
+    latency_changes: Dict[str, int] = field(default_factory=dict)
+    added_custom_ops: List[str] = field(default_factory=list)
+    removed_custom_ops: List[str] = field(default_factory=list)
+    encoding_changed: bool = False
+
+    @property
+    def is_binary_compatible(self) -> bool:
+        """True if a binary for ``source`` runs unmodified on ``target``.
+
+        In this model that requires: no encoding change, no removed custom
+        operations, at least as many registers and at least the same issue
+        width (narrowing either breaks the schedule/allocation contract).
+        """
+        return (
+            not self.encoding_changed
+            and not self.removed_custom_ops
+            and self.register_change >= 0
+            and self.issue_width_change >= 0
+            and self.cluster_change == 0
+        )
+
+    @property
+    def severity(self) -> int:
+        """A rough count of visible differences (0 = identical)."""
+        return (
+            int(self.issue_width_change != 0)
+            + int(self.register_change != 0)
+            + int(self.cluster_change != 0)
+            + len(self.latency_changes)
+            + len(self.added_custom_ops)
+            + len(self.removed_custom_ops)
+            + int(self.encoding_changed)
+        )
+
+
+def compute_drift(source: MachineDescription,
+                  target: MachineDescription) -> DriftRecord:
+    """Diff two machine descriptions into a :class:`DriftRecord`."""
+    latency_changes: Dict[str, int] = {}
+    classes = set(source.latency_overrides) | set(target.latency_overrides)
+    for op_class in classes:
+        before = source.latency(op_class)
+        after = target.latency(op_class)
+        if before != after:
+            latency_changes[op_class.value] = after - before
+
+    return DriftRecord(
+        source=source.name,
+        target=target.name,
+        issue_width_change=target.issue_width - source.issue_width,
+        register_change=target.total_registers - source.total_registers,
+        cluster_change=target.num_clusters - source.num_clusters,
+        latency_changes=latency_changes,
+        added_custom_ops=sorted(set(target.custom_ops) - set(source.custom_ops)),
+        removed_custom_ops=sorted(set(source.custom_ops) - set(target.custom_ops)),
+        encoding_changed=(
+            source.syllable_bits != target.syllable_bits
+            or source.compressed_encoding != target.compressed_encoding
+        ),
+    )
+
+
+class IsaFamily:
+    """A named family of machine descriptions sharing a base member.
+
+    The family presents "a single family view to programmers" (§3.1): the
+    toolchain compiles against whichever member is selected, and the drift
+    machinery moves already-built binaries between members.
+    """
+
+    def __init__(self, name: str, base: MachineDescription) -> None:
+        self.name = name
+        self.base = base
+        self.members: Dict[str, MachineDescription] = {base.name: base}
+        self.generations: List[str] = [base.name]
+
+    def add_member(self, machine: MachineDescription) -> DriftRecord:
+        """Register a new family member; returns its drift from the base."""
+        if machine.name in self.members:
+            raise ValueError(f"family {self.name} already has member {machine.name}")
+        self.members[machine.name] = machine
+        self.generations.append(machine.name)
+        return compute_drift(self.base, machine)
+
+    def derive(self, new_name: str, **changes) -> MachineDescription:
+        """Derive a new member from the base by keyword overrides.
+
+        Supported keys mirror :class:`MachineDescription` fields
+        (``issue_width``, ``registers_per_cluster``, ``num_clusters``,
+        ``latency_overrides``, ``compressed_encoding``, ``clock_ns``).
+        """
+        machine = self.base.clone(new_name)
+        for key, value in changes.items():
+            if not hasattr(machine, key):
+                raise AttributeError(f"machine description has no field {key}")
+            setattr(machine, key, value)
+        machine.validate()
+        self.add_member(machine)
+        return machine
+
+    def get(self, name: str) -> MachineDescription:
+        try:
+            return self.members[name]
+        except KeyError:
+            raise KeyError(f"no member {name} in family {self.name}") from None
+
+    def drift(self, source: str, target: str) -> DriftRecord:
+        """Drift record between two named members."""
+        return compute_drift(self.get(source), self.get(target))
+
+    def compatibility_matrix(self) -> Dict[str, Dict[str, bool]]:
+        """For every ordered member pair, is the binary compatible as-is?
+
+        This is the matrix that motivates §2.2: most cells are ``False`` by
+        1999 standards, and the drift machinery is what makes them usable
+        anyway.
+        """
+        names = list(self.members)
+        return {
+            src: {dst: self.drift(src, dst).is_binary_compatible for dst in names}
+            for src in names
+        }
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members

@@ -1,0 +1,119 @@
+"""Machine operation classes and the mapping from IR opcodes onto them.
+
+The *operation class* is the unit of the machine description tables: every
+functional unit declares which classes it can execute, and every class has
+a default latency that a machine description may override.  This is the
+"table" in the paper's "table-driven architectural descriptions".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..ir import Opcode
+
+
+class OperationClass(enum.Enum):
+    """Broad classes of machine operations (one functional-unit family each)."""
+
+    IALU = "ialu"        # integer add/sub/logic/shift/compare/select/move
+    IMUL = "imul"        # integer multiply
+    IDIV = "idiv"        # integer divide / remainder
+    FPU = "fpu"          # floating point add/sub/mul
+    FDIV = "fdiv"        # floating point divide
+    MEM = "mem"          # loads and stores
+    BRANCH = "branch"    # control transfer
+    CUSTOM = "custom"    # application-specific fused operations
+    NOP = "nop"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: IR opcode -> operation class.
+OPCODE_CLASS: Dict[Opcode, OperationClass] = {
+    Opcode.ADD: OperationClass.IALU,
+    Opcode.SUB: OperationClass.IALU,
+    Opcode.AND: OperationClass.IALU,
+    Opcode.OR: OperationClass.IALU,
+    Opcode.XOR: OperationClass.IALU,
+    Opcode.SHL: OperationClass.IALU,
+    Opcode.SHR: OperationClass.IALU,
+    Opcode.SAR: OperationClass.IALU,
+    Opcode.MIN: OperationClass.IALU,
+    Opcode.MAX: OperationClass.IALU,
+    Opcode.ABS: OperationClass.IALU,
+    Opcode.NEG: OperationClass.IALU,
+    Opcode.NOT: OperationClass.IALU,
+    Opcode.CMPEQ: OperationClass.IALU,
+    Opcode.CMPNE: OperationClass.IALU,
+    Opcode.CMPLT: OperationClass.IALU,
+    Opcode.CMPLE: OperationClass.IALU,
+    Opcode.CMPGT: OperationClass.IALU,
+    Opcode.CMPGE: OperationClass.IALU,
+    Opcode.SELECT: OperationClass.IALU,
+    Opcode.MOV: OperationClass.IALU,
+    Opcode.SEXT: OperationClass.IALU,
+    Opcode.ZEXT: OperationClass.IALU,
+    Opcode.TRUNC: OperationClass.IALU,
+    Opcode.MUL: OperationClass.IMUL,
+    Opcode.DIV: OperationClass.IDIV,
+    Opcode.REM: OperationClass.IDIV,
+    Opcode.FADD: OperationClass.FPU,
+    Opcode.FSUB: OperationClass.FPU,
+    Opcode.FMUL: OperationClass.FPU,
+    Opcode.FNEG: OperationClass.FPU,
+    Opcode.FDIV: OperationClass.FDIV,
+    Opcode.FCMPEQ: OperationClass.FPU,
+    Opcode.FCMPLT: OperationClass.FPU,
+    Opcode.FCMPLE: OperationClass.FPU,
+    Opcode.ITOF: OperationClass.FPU,
+    Opcode.FTOI: OperationClass.FPU,
+    Opcode.LOAD: OperationClass.MEM,
+    Opcode.STORE: OperationClass.MEM,
+    Opcode.ALLOCA: OperationClass.IALU,
+    Opcode.JUMP: OperationClass.BRANCH,
+    Opcode.BRANCH: OperationClass.BRANCH,
+    Opcode.RETURN: OperationClass.BRANCH,
+    Opcode.CALL: OperationClass.BRANCH,
+    Opcode.CUSTOM: OperationClass.CUSTOM,
+}
+
+#: Default operation latencies in cycles (result available N cycles after
+#: issue).  These mirror a late-1990s embedded core: single-cycle ALU,
+#: pipelined 2-cycle multiply, long non-pipelined divide, 2-cycle loads.
+DEFAULT_LATENCY: Dict[OperationClass, int] = {
+    OperationClass.IALU: 1,
+    OperationClass.IMUL: 2,
+    OperationClass.IDIV: 12,
+    OperationClass.FPU: 3,
+    OperationClass.FDIV: 16,
+    OperationClass.MEM: 2,
+    OperationClass.BRANCH: 1,
+    OperationClass.CUSTOM: 1,
+    OperationClass.NOP: 1,
+}
+
+#: Default per-operation dynamic energy in picojoules, used by the energy
+#: model.  Values are first-order estimates for a ~0.25 micron embedded
+#: process; only relative magnitudes matter for the experiments.
+DEFAULT_ENERGY_PJ: Dict[OperationClass, float] = {
+    OperationClass.IALU: 4.0,
+    OperationClass.IMUL: 18.0,
+    OperationClass.IDIV: 60.0,
+    OperationClass.FPU: 25.0,
+    OperationClass.FDIV: 90.0,
+    OperationClass.MEM: 22.0,
+    OperationClass.BRANCH: 6.0,
+    OperationClass.CUSTOM: 10.0,
+    OperationClass.NOP: 0.5,
+}
+
+
+def classify(opcode: Opcode) -> OperationClass:
+    """Return the operation class for an IR opcode."""
+    try:
+        return OPCODE_CLASS[opcode]
+    except KeyError:
+        raise ValueError(f"no operation class defined for opcode {opcode}") from None

@@ -1,0 +1,101 @@
+"""First-order energy/power model.
+
+Dynamic energy is accumulated per executed operation by the cycle
+simulator (:mod:`repro.sim.cycle`); static (leakage + clock-tree) power is
+charged per cycle in proportion to core area.  As with the area model, the
+constants are indicative of a late-1990s embedded process and only the
+*relative* ordering between candidate machines is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .area import estimate_area
+from .machine import MachineDescription
+from .operations import DEFAULT_ENERGY_PJ, OperationClass
+
+#: static power per kgate, in milliwatts (leakage + idle clocking).
+STATIC_MW_PER_KGATE = 0.002
+
+#: energy per custom-op input operand beyond two (extra register ports).
+CUSTOM_INPUT_PJ = 1.5
+
+#: energy per cache access / miss.
+CACHE_HIT_PJ = 15.0
+CACHE_MISS_PJ = 180.0
+
+
+@dataclass
+class EnergyReport:
+    """Per-run energy accounting produced by the cycle simulator."""
+
+    dynamic_pj: float = 0.0
+    static_pj: float = 0.0
+    cache_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_pj + self.static_pj + self.cache_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dynamic_pj": self.dynamic_pj,
+            "static_pj": self.static_pj,
+            "cache_pj": self.cache_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+class EnergyModel:
+    """Accumulates energy for a run on a specific machine."""
+
+    def __init__(self, machine: MachineDescription) -> None:
+        self.machine = machine
+        area = estimate_area(machine)
+        #: static energy charged per cycle = P_static * clock period.
+        self.static_pj_per_cycle = (
+            STATIC_MW_PER_KGATE * area.total * machine.clock_ns
+        )
+        self.report = EnergyReport()
+
+    def charge_operation(self, op_class: OperationClass,
+                         custom_inputs: int = 0) -> None:
+        """Charge the dynamic energy of one executed operation."""
+        energy = DEFAULT_ENERGY_PJ[op_class]
+        if op_class is OperationClass.CUSTOM and custom_inputs > 2:
+            energy += CUSTOM_INPUT_PJ * (custom_inputs - 2)
+        self.report.dynamic_pj += energy
+
+    def charge_custom(self, fused_ops: int, inputs: int) -> None:
+        """Charge a custom operation that replaces ``fused_ops`` primitives.
+
+        A fused datapath avoids intermediate register-file writebacks, so
+        its energy is less than the sum of the primitives it replaces; we
+        model a 40% saving on the fused portion.
+        """
+        base = DEFAULT_ENERGY_PJ[OperationClass.IALU] * max(1, fused_ops) * 0.6
+        if inputs > 2:
+            base += CUSTOM_INPUT_PJ * (inputs - 2)
+        self.report.dynamic_pj += base
+
+    def charge_cycles(self, cycles: int) -> None:
+        """Charge static energy for ``cycles`` elapsed cycles."""
+        self.report.static_pj += self.static_pj_per_cycle * cycles
+
+    def charge_cache(self, hits: int, misses: int) -> None:
+        """Charge cache access energy."""
+        self.report.cache_pj += CACHE_HIT_PJ * hits + CACHE_MISS_PJ * misses
+
+    def average_power_mw(self, cycles: int) -> float:
+        """Average power over a run of ``cycles`` cycles."""
+        if cycles <= 0:
+            return 0.0
+        seconds = cycles * self.machine.clock_ns * 1e-9
+        joules = self.report.total_pj * 1e-12
+        return joules / seconds * 1e3

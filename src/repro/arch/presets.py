@@ -1,0 +1,157 @@
+"""Preset machine descriptions used throughout the examples and experiments.
+
+These are the named points in the design space that the paper's argument
+keeps returning to: a generic scalar embedded RISC (the thing you buy off
+the shelf), mass-market superscalar-style parts (what you pay the Table-1
+premium for), and customized VLIW family members of several widths (what
+the mass-customized toolchain lets you build instead).
+"""
+
+from __future__ import annotations
+
+from .machine import (
+    CacheConfig, FunctionalUnit, MachineDescription,
+)
+from .operations import OperationClass
+
+
+def _cache_small() -> CacheConfig:
+    return CacheConfig(size_bytes=8192, line_bytes=32, associativity=1, miss_penalty=20)
+
+
+def _cache_large() -> CacheConfig:
+    return CacheConfig(size_bytes=16384, line_bytes=32, associativity=2, miss_penalty=20)
+
+
+def risc_baseline(name: str = "risc32") -> MachineDescription:
+    """A generic single-issue 32-bit embedded RISC (the off-the-shelf part)."""
+    units = [
+        FunctionalUnit("alu", frozenset({OperationClass.IALU}), count=1),
+        FunctionalUnit("mul", frozenset({OperationClass.IMUL}), count=1),
+        FunctionalUnit("div", frozenset({OperationClass.IDIV}), count=1),
+        FunctionalUnit("mem", frozenset({OperationClass.MEM}), count=1),
+        FunctionalUnit("br", frozenset({OperationClass.BRANCH}), count=1),
+        FunctionalUnit(
+            "fpu", frozenset({OperationClass.FPU, OperationClass.FDIV}), count=1
+        ),
+    ]
+    return MachineDescription(
+        name=name,
+        issue_width=1,
+        num_clusters=1,
+        registers_per_cluster=32,
+        functional_units=units,
+        branch_penalty=2,
+        icache=_cache_small(),
+        dcache=_cache_small(),
+        clock_ns=5.0,
+        notes="generic scalar embedded RISC baseline",
+    )
+
+
+def vliw(issue_width: int = 4, *, name: str | None = None,
+         registers: int = 64, clusters: int = 1,
+         compressed: bool = True) -> MachineDescription:
+    """A customizable exposed-pipeline VLIW of the given width."""
+    name = name or f"vliw{issue_width}"
+    return MachineDescription(
+        name=name,
+        issue_width=issue_width,
+        num_clusters=clusters,
+        registers_per_cluster=max(8, registers // clusters),
+        branch_penalty=1,
+        icache=_cache_large(),
+        dcache=_cache_large(),
+        compressed_encoding=compressed,
+        clock_ns=4.0,
+        notes=f"{issue_width}-issue customizable VLIW family member",
+    )
+
+
+def vliw4(name: str = "vliw4") -> MachineDescription:
+    """The §2.2 machine: a 4-issue customized VLIW."""
+    return vliw(4, name=name)
+
+
+def vliw8(name: str = "vliw8") -> MachineDescription:
+    """A wide 8-issue VLIW (embedded-supercomputing point of §1.3)."""
+    return vliw(8, name=name, registers=128)
+
+def vliw2(name: str = "vliw2") -> MachineDescription:
+    """A narrow 2-issue VLIW (low-area/low-power point)."""
+    return vliw(2, name=name, registers=32)
+
+
+def clustered_vliw4(name: str = "vliw4c2") -> MachineDescription:
+    """A 4-issue VLIW split into two register clusters (§1.2 'register clusters')."""
+    return vliw(4, name=name, registers=64, clusters=2)
+
+
+def dsp_core(name: str = "dsp16") -> MachineDescription:
+    """A multiply-rich, integer-only core typical of baseband/audio DSP work."""
+    units = [
+        FunctionalUnit("alu", frozenset({OperationClass.IALU}), count=2),
+        FunctionalUnit("mac", frozenset({OperationClass.IMUL}), count=2),
+        FunctionalUnit("mem", frozenset({OperationClass.MEM}), count=2),
+        FunctionalUnit("br", frozenset({OperationClass.BRANCH}), count=1),
+        FunctionalUnit("div", frozenset({OperationClass.IDIV}), count=1),
+    ]
+    return MachineDescription(
+        name=name,
+        issue_width=4,
+        num_clusters=1,
+        registers_per_cluster=48,
+        functional_units=units,
+        branch_penalty=1,
+        icache=_cache_small(),
+        dcache=_cache_small(),
+        compressed_encoding=True,
+        clock_ns=5.0,
+        notes="multiply-rich integer DSP-style core (no FPU)",
+    )
+
+
+def mass_market_superscalar(name: str = "massmkt") -> MachineDescription:
+    """A mass-market, binary-compatible high-end embedded processor.
+
+    Used as the *more complex, much larger* comparison part of Barrier 3
+    (§4): same nominal issue width as the custom VLIW, but its area is
+    costed with dynamically-scheduled control (see
+    :func:`repro.arch.area.estimate_area`) and it runs the fixed base ISA
+    with no custom operations.
+    """
+    return MachineDescription(
+        name=name,
+        issue_width=4,
+        num_clusters=1,
+        registers_per_cluster=32,
+        branch_penalty=3,
+        icache=_cache_large(),
+        dcache=_cache_large(),
+        compressed_encoding=False,
+        clock_ns=3.0,
+        notes="mass-market binary-compatible superscalar comparison point",
+    )
+
+
+#: Registry of all presets by name (used by the N×M matrix and the CLI-ish
+#: example scripts).
+PRESETS = {
+    "risc32": risc_baseline,
+    "vliw2": vliw2,
+    "vliw4": vliw4,
+    "vliw8": vliw8,
+    "vliw4c2": clustered_vliw4,
+    "dsp16": dsp_core,
+    "massmkt": mass_market_superscalar,
+}
+
+
+def get_preset(name: str) -> MachineDescription:
+    """Instantiate a preset machine description by name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset '{name}'; available: {', '.join(sorted(PRESETS))}"
+        ) from None

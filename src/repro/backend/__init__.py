@@ -1,0 +1,30 @@
+"""The retargetable VLIW back end.
+
+Driven entirely by a :class:`~repro.arch.MachineDescription`: instruction
+selection, cluster assignment, register allocation with spill planning,
+list scheduling into VLIW bundles, assembly rendering and binary encoding.
+"""
+
+from .mcode import (
+    Bundle, CompiledFunction, CompiledModule, MachineOp, RegisterAssignment,
+    ScheduledBlock,
+)
+from .isel import SelectionError, select_block, select_instruction, validate_function
+from .regalloc import SpillPlan, allocate_registers, block_pressure, compute_liveness
+from .scheduler import ScheduleStatistics, assign_clusters, schedule_block
+from .codegen import CompileReport, compile_function, compile_module
+from .asm import (
+    BinaryImage, EncodedOp, OPCODE_NUMBERS, decode_word, encode_module,
+    encode_op, render_assembly,
+)
+
+__all__ = [
+    "Bundle", "CompiledFunction", "CompiledModule", "MachineOp",
+    "RegisterAssignment", "ScheduledBlock",
+    "SelectionError", "select_block", "select_instruction", "validate_function",
+    "SpillPlan", "allocate_registers", "block_pressure", "compute_liveness",
+    "ScheduleStatistics", "assign_clusters", "schedule_block",
+    "CompileReport", "compile_function", "compile_module",
+    "BinaryImage", "EncodedOp", "OPCODE_NUMBERS", "decode_word",
+    "encode_module", "encode_op", "render_assembly",
+]

@@ -1,0 +1,57 @@
+"""The code-generation driver: IR module -> compiled (scheduled) module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch.encoding import CodeSizeReport, code_size
+from ..arch.machine import MachineDescription
+from ..ir import Function, Module, topological_block_order
+from .mcode import CompiledFunction, CompiledModule
+from .regalloc import allocate_registers
+from .scheduler import ScheduleStatistics, schedule_block
+
+
+@dataclass
+class CompileReport:
+    """Aggregate compilation statistics for one module on one machine."""
+
+    machine: str
+    functions: int = 0
+    schedule: ScheduleStatistics = field(default_factory=ScheduleStatistics)
+    spilled_registers: int = 0
+    max_pressure: int = 0
+    code: Optional[CodeSizeReport] = None
+
+
+def compile_function(function: Function, machine: MachineDescription) -> CompiledFunction:
+    """Schedule and allocate one function for ``machine``."""
+    assignment, spill_plan = allocate_registers(function, machine)
+    compiled = CompiledFunction(name=function.name, machine=machine,
+                                source=function, registers=assignment)
+    for block in topological_block_order(function):
+        scheduled, _stats = schedule_block(block, machine, spill_plan)
+        compiled.blocks.append(scheduled)
+    return compiled
+
+
+def compile_module(module: Module, machine: MachineDescription
+                   ) -> tuple[CompiledModule, CompileReport]:
+    """Compile every function in ``module`` for ``machine``."""
+    compiled = CompiledModule(machine=machine, source=module)
+    report = CompileReport(machine=machine.name)
+    for function in module.functions.values():
+        assignment, spill_plan = allocate_registers(function, machine)
+        cf = CompiledFunction(name=function.name, machine=machine,
+                              source=function, registers=assignment)
+        for block in topological_block_order(function):
+            scheduled, stats = schedule_block(block, machine, spill_plan)
+            cf.blocks.append(scheduled)
+            report.schedule.merge(stats)
+        compiled.add(cf)
+        report.functions += 1
+        report.spilled_registers += len(assignment.spilled)
+        report.max_pressure = max(report.max_pressure, assignment.max_pressure)
+    report.code = code_size(machine, compiled.bundle_op_counts())
+    return compiled, report

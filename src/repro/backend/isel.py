@@ -1,0 +1,62 @@
+"""Instruction selection: lowering IR instructions to machine operations.
+
+The base ISA of the VLIW family is deliberately close to the IR, so most
+instructions lower one-to-one; the selector's real jobs are (a) checking
+that the target machine can actually execute what the program needs
+(machines without an FPU or divider reject programs that use them, which
+the design-space explorer relies on to prune infeasible points), (b)
+attaching latencies and unit classes from the machine description tables,
+and (c) resolving custom operations against the machine's extension list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arch.machine import MachineDescription
+from ..arch.operations import OperationClass, classify
+from ..ir import BasicBlock, Function, Instruction, Opcode
+from .mcode import MachineOp
+
+
+class SelectionError(Exception):
+    """Raised when a program cannot be mapped onto the target machine."""
+
+
+def select_instruction(inst: Instruction, machine: MachineDescription) -> MachineOp:
+    """Lower one IR instruction to a :class:`MachineOp` for ``machine``."""
+    if inst.opcode is Opcode.CUSTOM:
+        if not machine.has_custom_op(inst.custom_op):
+            raise SelectionError(
+                f"machine {machine.name} does not implement custom op "
+                f"{inst.custom_op}"
+            )
+        return MachineOp(
+            inst=inst,
+            op_class=OperationClass.CUSTOM,
+            latency=machine.custom_latency(inst.custom_op),
+        )
+
+    op_class = classify(inst.opcode)
+    if not machine.supports(op_class):
+        raise SelectionError(
+            f"machine {machine.name} has no functional unit for {op_class} "
+            f"(needed by '{inst.opcode.value}')"
+        )
+    return MachineOp(inst=inst, op_class=op_class, latency=machine.latency(op_class))
+
+
+def select_block(block: BasicBlock, machine: MachineDescription) -> List[MachineOp]:
+    """Lower every instruction of a basic block (terminator included)."""
+    return [select_instruction(inst, machine) for inst in block.instructions]
+
+
+def validate_function(function: Function, machine: MachineDescription) -> List[str]:
+    """Return a list of reasons the function cannot run on ``machine``."""
+    problems: List[str] = []
+    for inst in function.instructions():
+        try:
+            select_instruction(inst, machine)
+        except SelectionError as exc:
+            problems.append(str(exc))
+    return problems

@@ -1,0 +1,164 @@
+"""Liveness analysis and register allocation.
+
+The allocator computes whole-function liveness of virtual registers,
+measures the per-block register pressure, and maps virtual registers onto
+the machine's architectural registers with a furthest-next-use spill
+heuristic when pressure exceeds the file size.  Spill decisions are
+returned so the scheduler can materialise the reload/spill memory traffic
+in the bundles (which is how a small register file shows up as lost cycles
+and extra code, the effect the "number of registers" axis of experiment E8
+measures).
+
+Values keep their virtual names in the simulated execution (the cycle
+simulator is trace-accurate for timing but executes by name); the
+assignment produced here is used for timing, spill traffic, and assembly
+rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..arch.machine import MachineDescription
+from ..ir import Argument, BasicBlock, Function, Instruction, VirtualRegister
+from .mcode import RegisterAssignment
+
+
+# ----------------------------------------------------------------------
+# Liveness.
+# ----------------------------------------------------------------------
+
+def compute_liveness(function: Function) -> Tuple[Dict[str, Set[int]], Dict[str, Set[int]]]:
+    """Iterative backward liveness: returns (live_in, live_out) by block name."""
+    use: Dict[str, Set[int]] = {}
+    defined: Dict[str, Set[int]] = {}
+    for block in function.blocks:
+        block_use: Set[int] = set()
+        block_def: Set[int] = set()
+        for inst in block.instructions:
+            for reg in inst.uses():
+                if reg.id not in block_def:
+                    block_use.add(reg.id)
+            if inst.dest is not None:
+                block_def.add(inst.dest.id)
+        use[block.name] = block_use
+        defined[block.name] = block_def
+
+    live_in: Dict[str, Set[int]] = {b.name: set() for b in function.blocks}
+    live_out: Dict[str, Set[int]] = {b.name: set() for b in function.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.blocks):
+            out: Set[int] = set()
+            for successor in block.successors():
+                out |= live_in[successor.name]
+            new_in = use[block.name] | (out - defined[block.name])
+            if out != live_out[block.name] or new_in != live_in[block.name]:
+                live_out[block.name] = out
+                live_in[block.name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def block_pressure(block: BasicBlock, live_out: Set[int]) -> int:
+    """Maximum number of simultaneously live registers inside ``block``."""
+    live: Set[int] = set(live_out)
+    max_pressure = len(live)
+    for inst in reversed(block.instructions):
+        if inst.dest is not None:
+            live.discard(inst.dest.id)
+        for reg in inst.uses():
+            live.add(reg.id)
+        max_pressure = max(max_pressure, len(live))
+    return max_pressure
+
+
+# ----------------------------------------------------------------------
+# Allocation.
+# ----------------------------------------------------------------------
+
+@dataclass
+class SpillPlan:
+    """Registers chosen to live in memory, and the traffic they cause."""
+
+    spilled_registers: Set[int] = field(default_factory=set)
+    #: per block name, number of reloads/stores the spills introduce.
+    reloads_per_block: Dict[str, int] = field(default_factory=dict)
+    stores_per_block: Dict[str, int] = field(default_factory=dict)
+
+
+def allocate_registers(function: Function, machine: MachineDescription,
+                       reserved: int = 4) -> Tuple[RegisterAssignment, SpillPlan]:
+    """Assign virtual registers to the machine's architectural registers.
+
+    ``reserved`` registers are kept back for the stack pointer, link
+    register and assembler temporaries.  The allocator is a whole-function
+    priority allocator: registers are ranked by (spill-cost = frequency-
+    weighted use count), the top ``k`` stay in registers, the rest are
+    spilled; every use of a spilled register inside a block costs one
+    reload and every definition one store, which is what the scheduler
+    materialises.
+    """
+    available = max(2, machine.total_registers - reserved)
+    live_in, live_out = compute_liveness(function)
+
+    # Spill cost: frequency-weighted number of uses + defs.
+    cost: Dict[int, float] = {}
+    vregs: Dict[int, VirtualRegister] = {}
+    for block in function.blocks:
+        weight = max(1.0, block.frequency)
+        for inst in block.instructions:
+            for reg in inst.uses():
+                cost[reg.id] = cost.get(reg.id, 0.0) + weight
+                vregs[reg.id] = reg
+            if inst.dest is not None:
+                cost[inst.dest.id] = cost.get(inst.dest.id, 0.0) + weight
+                vregs[inst.dest.id] = inst.dest
+    for arg in function.arguments:
+        cost.setdefault(arg.id, 1.0)
+        vregs.setdefault(arg.id, arg)
+
+    assignment = RegisterAssignment()
+    assignment.max_pressure = max(
+        (block_pressure(b, live_out[b.name]) for b in function.blocks), default=0
+    )
+
+    ranked = sorted(cost, key=lambda reg_id: -cost[reg_id])
+    plan = SpillPlan()
+
+    if len(ranked) <= available:
+        keep = set(ranked)
+    else:
+        keep = set(ranked[:available])
+        plan.spilled_registers = set(ranked[available:])
+
+    next_physical = 0
+    for reg_id in ranked:
+        if reg_id in keep:
+            assignment.physical[reg_id] = next_physical % available
+            next_physical += 1
+        else:
+            assignment.spilled[reg_id] = assignment.spill_slots
+            assignment.spill_slots += 1
+
+    # Spill traffic per block.
+    for block in function.blocks:
+        reloads = 0
+        stores = 0
+        for inst in block.instructions:
+            for reg in inst.uses():
+                if reg.id in plan.spilled_registers:
+                    reloads += 1
+            if inst.dest is not None and inst.dest.id in plan.spilled_registers:
+                stores += 1
+        if reloads:
+            plan.reloads_per_block[block.name] = reloads
+        if stores:
+            plan.stores_per_block[block.name] = stores
+        assignment.spill_loads += reloads
+        assignment.spill_stores += stores
+
+    return assignment, plan

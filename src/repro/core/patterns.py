@@ -1,0 +1,328 @@
+"""Dataflow patterns: the portable semantics of custom operations.
+
+A :class:`Pattern` is a small DAG of primitive IR operations with numbered
+external inputs and one or more outputs.  Patterns are extracted from
+convex cuts of basic-block dataflow graphs by the identification stage,
+deduplicated by a canonical signature (so the same computation found in
+two kernels is recognised as one candidate), costed by the hardware-datapath
+model, matched against other programs by the rewriter, and evaluated by
+the simulators to give custom operations their semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import (
+    COMMUTATIVE_OPCODES, Constant, Instruction, IntType, Opcode, VirtualRegister,
+)
+from ..ir.types import I32
+
+#: Hardware delay of each primitive, in units of one 32-bit adder delay.
+#: Used to pipeline-stage a fused datapath: chained primitives inside one
+#: custom operation do not pay per-operation issue/writeback overhead, so
+#: the fused latency is the ceiling of the summed gate delay.
+HW_DELAY = {
+    Opcode.ADD: 1.0, Opcode.SUB: 1.0, Opcode.MUL: 2.4,
+    Opcode.AND: 0.3, Opcode.OR: 0.3, Opcode.XOR: 0.3, Opcode.NOT: 0.2,
+    Opcode.SHL: 0.5, Opcode.SHR: 0.5, Opcode.SAR: 0.5,
+    Opcode.MIN: 1.1, Opcode.MAX: 1.1, Opcode.ABS: 1.1, Opcode.NEG: 1.0,
+    Opcode.CMPEQ: 0.8, Opcode.CMPNE: 0.8, Opcode.CMPLT: 1.0, Opcode.CMPLE: 1.0,
+    Opcode.CMPGT: 1.0, Opcode.CMPGE: 1.0,
+    Opcode.SELECT: 0.4, Opcode.MOV: 0.0,
+    Opcode.SEXT: 0.1, Opcode.ZEXT: 0.1, Opcode.TRUNC: 0.1,
+}
+
+#: Hardware area of each primitive in kgates (32-bit datapath).
+HW_AREA_KGATES = {
+    Opcode.ADD: 1.6, Opcode.SUB: 1.6, Opcode.MUL: 20.0,
+    Opcode.AND: 0.2, Opcode.OR: 0.2, Opcode.XOR: 0.3, Opcode.NOT: 0.1,
+    Opcode.SHL: 2.2, Opcode.SHR: 2.2, Opcode.SAR: 2.2,
+    Opcode.MIN: 2.0, Opcode.MAX: 2.0, Opcode.ABS: 1.8, Opcode.NEG: 1.6,
+    Opcode.CMPEQ: 0.9, Opcode.CMPNE: 0.9, Opcode.CMPLT: 1.2, Opcode.CMPLE: 1.2,
+    Opcode.CMPGT: 1.2, Opcode.CMPGE: 1.2,
+    Opcode.SELECT: 0.7, Opcode.MOV: 0.0,
+    Opcode.SEXT: 0.1, Opcode.ZEXT: 0.1, Opcode.TRUNC: 0.1,
+}
+
+#: Adder delays that fit in one pipeline stage of the custom functional
+#: unit (slightly more than one, reflecting slack in the base machine's
+#: cycle that a single ALU op does not use).
+DELAYS_PER_STAGE = 1.3
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """One primitive operation inside a pattern.
+
+    ``operands`` refer either to external inputs (``("in", k)``), to other
+    nodes (``("node", j)`` with ``j`` an index into the pattern's node
+    list, always smaller than this node's index), or to embedded constants
+    (``("const", value)``).
+    """
+
+    opcode: Opcode
+    operands: Tuple[Tuple, ...]
+
+
+class PatternError(Exception):
+    """Raised when a pattern cannot be built or evaluated."""
+
+
+class Pattern:
+    """A canonical, executable description of a fused computation."""
+
+    def __init__(self, nodes: List[PatternNode], outputs: List[int],
+                 num_inputs: int, name: str = "") -> None:
+        self.nodes = nodes
+        self.outputs = outputs
+        self.num_inputs = num_inputs
+        self.name = name or f"cop_{abs(hash(self.signature())) % 100_000:05d}"
+
+    # ------------------------------------------------------------------
+    # Basic properties.
+    # ------------------------------------------------------------------
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def size(self) -> int:
+        """Number of primitive operations fused by this pattern."""
+        return len(self.nodes)
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for node in self.nodes:
+            histogram[node.opcode.value] = histogram.get(node.opcode.value, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Hardware cost model.
+    # ------------------------------------------------------------------
+    def hardware_latency(self, delays_per_stage: float = DELAYS_PER_STAGE) -> int:
+        """Pipeline latency (cycles) of a fused datapath for this pattern."""
+        depth: Dict[int, float] = {}
+        worst = 0.0
+        for index, node in enumerate(self.nodes):
+            start = 0.0
+            for kind, ref in node.operands:
+                if kind == "node":
+                    start = max(start, depth[ref])
+            finish = start + HW_DELAY.get(node.opcode, 1.0)
+            depth[index] = finish
+            worst = max(worst, finish)
+        return max(1, int(-(-worst // delays_per_stage)))  # ceil division
+
+    def hardware_area_kgates(self) -> float:
+        """Synthesis-area estimate of the fused datapath (kgates)."""
+        area = sum(HW_AREA_KGATES.get(node.opcode, 1.0) for node in self.nodes)
+        # Operand multiplexing / pipeline registers overhead.
+        overhead = 0.4 * (self.num_inputs + self.num_outputs) + 0.15 * len(self.nodes)
+        return round(area + overhead, 3)
+
+    def software_latency(self, latency_of) -> int:
+        """Critical path through the pattern executed as separate ops.
+
+        ``latency_of`` maps an :class:`Opcode` to its per-op latency on the
+        *base* machine; this is the per-occurrence upper bound on the cycles
+        a custom operation can save when the code is latency-bound.
+        """
+        depth: Dict[int, int] = {}
+        worst = 0
+        for index, node in enumerate(self.nodes):
+            start = 0
+            for kind, ref in node.operands:
+                if kind == "node":
+                    start = max(start, depth[ref])
+            finish = start + latency_of(node.opcode)
+            depth[index] = finish
+            worst = max(worst, finish)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Canonical signature.
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """A canonical string identifying the computation.
+
+        Commutative operands are sorted by their sub-expression string, so
+        ``a*b + c`` and ``b*a + c`` share a signature.  Input leaves are
+        rendered with their input index, which is itself assigned in first-
+        appearance order when patterns are built, making signatures stable
+        across extraction sites.
+        """
+        memo: Dict[int, str] = {}
+
+        def render(index: int) -> str:
+            if index in memo:
+                return memo[index]
+            node = self.nodes[index]
+            parts = []
+            for kind, ref in node.operands:
+                if kind == "in":
+                    parts.append(f"i{ref}")
+                elif kind == "const":
+                    parts.append(f"c{ref}")
+                else:
+                    parts.append(render(ref))
+            if node.opcode in COMMUTATIVE_OPCODES:
+                parts = sorted(parts)
+            text = f"{node.opcode.value}({','.join(parts)})"
+            memo[index] = text
+            return text
+
+        rendered_outputs = sorted(render(i) for i in self.outputs)
+        return f"{self.num_inputs}|" + ";".join(rendered_outputs)
+
+    # ------------------------------------------------------------------
+    # Evaluation (semantics for the simulators).
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Sequence[int]):
+        """Execute the pattern on integer inputs; returns the first output.
+
+        Multi-output patterns return a tuple.  All arithmetic is wrapped to
+        32 bits, matching the simulated machine.
+        """
+        if len(inputs) != self.num_inputs:
+            raise PatternError(
+                f"pattern {self.name} expects {self.num_inputs} inputs, "
+                f"got {len(inputs)}"
+            )
+        i32 = I32
+        values: Dict[int, int] = {}
+
+        def operand_value(operand) -> int:
+            kind, ref = operand
+            if kind == "in":
+                return int(inputs[ref])
+            if kind == "const":
+                return int(ref)
+            return values[ref]
+
+        for index, node in enumerate(self.nodes):
+            ops = [operand_value(o) for o in node.operands]
+            values[index] = i32.wrap(_evaluate_primitive(node.opcode, ops))
+
+        results = tuple(values[i] for i in self.outputs)
+        return results[0] if len(results) == 1 else results
+
+    # ------------------------------------------------------------------
+    # Display.
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return (f"Pattern {self.name}: {self.size} ops, "
+                f"{self.num_inputs} in / {self.num_outputs} out, "
+                f"hw latency {self.hardware_latency()} cyc, "
+                f"{self.hardware_area_kgates():.1f} kgates")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pattern {self.name} {self.signature()}>"
+
+
+def _evaluate_primitive(opcode: Opcode, ops: List[int]) -> int:
+    if opcode is Opcode.ADD:
+        return ops[0] + ops[1]
+    if opcode is Opcode.SUB:
+        return ops[0] - ops[1]
+    if opcode is Opcode.MUL:
+        return ops[0] * ops[1]
+    if opcode is Opcode.AND:
+        return ops[0] & ops[1]
+    if opcode is Opcode.OR:
+        return ops[0] | ops[1]
+    if opcode is Opcode.XOR:
+        return ops[0] ^ ops[1]
+    if opcode is Opcode.SHL:
+        return ops[0] << (ops[1] & 31)
+    if opcode is Opcode.SHR:
+        return (ops[0] & 0xFFFFFFFF) >> (ops[1] & 31)
+    if opcode is Opcode.SAR:
+        return ops[0] >> (ops[1] & 31)
+    if opcode is Opcode.MIN:
+        return min(ops[0], ops[1])
+    if opcode is Opcode.MAX:
+        return max(ops[0], ops[1])
+    if opcode is Opcode.ABS:
+        return abs(ops[0])
+    if opcode is Opcode.NEG:
+        return -ops[0]
+    if opcode is Opcode.NOT:
+        return ~ops[0]
+    if opcode is Opcode.CMPEQ:
+        return int(ops[0] == ops[1])
+    if opcode is Opcode.CMPNE:
+        return int(ops[0] != ops[1])
+    if opcode is Opcode.CMPLT:
+        return int(ops[0] < ops[1])
+    if opcode is Opcode.CMPLE:
+        return int(ops[0] <= ops[1])
+    if opcode is Opcode.CMPGT:
+        return int(ops[0] > ops[1])
+    if opcode is Opcode.CMPGE:
+        return int(ops[0] >= ops[1])
+    if opcode is Opcode.SELECT:
+        return ops[1] if ops[0] else ops[2]
+    if opcode in (Opcode.MOV, Opcode.SEXT, Opcode.ZEXT, Opcode.TRUNC):
+        return ops[0]
+    raise PatternError(f"opcode {opcode} cannot appear in a pattern")
+
+
+def pattern_from_cut(instructions: Sequence[Instruction],
+                     dfg) -> Tuple[Pattern, List, List[VirtualRegister]]:
+    """Build a pattern from a convex cut of a dataflow graph.
+
+    Returns ``(pattern, input_values, output_registers)`` where
+    ``input_values`` are the IR values feeding the cut (in the pattern's
+    input order) and ``output_registers`` the registers the cut defines for
+    consumers outside it.
+    """
+    cut: Set[Instruction] = set(instructions)
+    # Deterministic topological order within the cut: follow block order.
+    ordered = [inst for inst in dfg.block.instructions if inst in cut]
+
+    node_index: Dict[int, int] = {}
+    input_order: List = []
+    input_keys: Dict = {}
+    nodes: List[PatternNode] = []
+
+    def input_slot(value) -> int:
+        key = value.id if isinstance(value, VirtualRegister) else ("const", str(value))
+        if key not in input_keys:
+            input_keys[key] = len(input_order)
+            input_order.append(value)
+        return input_keys[key]
+
+    producers = {inst.dest.id: inst for inst in ordered if inst.dest is not None}
+
+    for inst in ordered:
+        operands: List[Tuple] = []
+        for operand in inst.operands:
+            if isinstance(operand, VirtualRegister):
+                producer = producers.get(operand.id)
+                if producer is not None and producer in cut and id(producer) in node_index:
+                    operands.append(("node", node_index[id(producer)]))
+                else:
+                    operands.append(("in", input_slot(operand)))
+            elif isinstance(operand, Constant) and isinstance(operand.value, int):
+                operands.append(("const", operand.value))
+            else:
+                operands.append(("in", input_slot(operand)))
+        node_index[id(inst)] = len(nodes)
+        nodes.append(PatternNode(inst.opcode, tuple(operands)))
+
+    output_registers = dfg.subgraph_outputs(cut)
+    # Preserve definition order for outputs.
+    output_registers.sort(key=lambda reg: next(
+        i for i, inst in enumerate(ordered) if inst.dest is not None and inst.dest.id == reg.id
+    ))
+    outputs = []
+    for reg in output_registers:
+        for inst in reversed(ordered):
+            if inst.dest is not None and inst.dest.id == reg.id:
+                outputs.append(node_index[id(inst)])
+                break
+
+    pattern = Pattern(nodes, outputs, num_inputs=len(input_order))
+    return pattern, input_order, output_registers

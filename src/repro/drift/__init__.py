@@ -1,0 +1,16 @@
+"""ISA drift: binary translation, dynamic optimization and compatibility."""
+
+from .translator import (
+    BinaryTranslator, REOPTIMIZATION_CYCLES_PER_OP, TRANSLATION_CYCLES_PER_OP,
+    TranslationError, TranslationReport, expand_custom_ops,
+)
+from .dynamic import CodeCache, StagedExecutionModel
+from .compat import CompatibilityVerdict, assess, family_compatibility_report
+
+__all__ = [
+    "BinaryTranslator", "REOPTIMIZATION_CYCLES_PER_OP",
+    "TRANSLATION_CYCLES_PER_OP", "TranslationError", "TranslationReport",
+    "expand_custom_ops",
+    "CodeCache", "StagedExecutionModel",
+    "CompatibilityVerdict", "assess", "family_compatibility_report",
+]

@@ -1,0 +1,88 @@
+"""Compatibility analysis across an ISA family.
+
+Answers the §2.3 question — when the ISA changes, what breaks? — in terms
+of the machine-description diffs of :mod:`repro.arch.family`, and maps
+each kind of drift to the remedy the paper proposes (run as-is, statically
+translate, dynamically re-optimize, or recompile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..arch.family import DriftRecord, IsaFamily, compute_drift
+from ..arch.machine import MachineDescription
+
+
+@dataclass
+class CompatibilityVerdict:
+    """How a binary for ``source`` can be made to run on ``target``."""
+
+    drift: DriftRecord
+    #: one of "native", "translate", "reoptimize", "recompile".
+    remedy: str
+    reasons: List[str]
+
+    @property
+    def runs_unmodified(self) -> bool:
+        return self.remedy == "native"
+
+
+def assess(source: MachineDescription, target: MachineDescription) -> CompatibilityVerdict:
+    """Classify what it takes to move a binary from ``source`` to ``target``."""
+    drift = compute_drift(source, target)
+    reasons: List[str] = []
+
+    if drift.severity == 0 or drift.is_binary_compatible:
+        return CompatibilityVerdict(drift, "native",
+                                    ["no visible change affects existing binaries"])
+
+    if drift.encoding_changed:
+        reasons.append("instruction encoding changed")
+    if drift.removed_custom_ops:
+        reasons.append(
+            "custom operations removed: " + ", ".join(drift.removed_custom_ops)
+        )
+    if drift.issue_width_change < 0:
+        reasons.append("issue width narrowed (schedules no longer fit)")
+    if drift.register_change < 0:
+        reasons.append("register file shrank (allocations no longer fit)")
+    if drift.cluster_change != 0:
+        reasons.append("cluster structure changed")
+    if drift.latency_changes:
+        reasons.append("operation latencies changed: "
+                       + ", ".join(sorted(drift.latency_changes)))
+
+    # Removed operations or structural shrinkage require real translation;
+    # everything else is recoverable by re-scheduling (cheap translation).
+    structural = (drift.removed_custom_ops or drift.issue_width_change < 0
+                  or drift.register_change < 0 or drift.cluster_change != 0
+                  or drift.encoding_changed)
+    if not structural:
+        remedy = "translate"
+    elif drift.added_custom_ops or target.custom_ops:
+        remedy = "reoptimize"
+    else:
+        remedy = "translate"
+    if not reasons:
+        reasons.append("visible differences require re-targeting")
+    return CompatibilityVerdict(drift, remedy, reasons)
+
+
+def family_compatibility_report(family: IsaFamily) -> List[Dict[str, object]]:
+    """Rows describing every ordered pair of family members."""
+    rows: List[Dict[str, object]] = []
+    for source_name in family.members:
+        for target_name in family.members:
+            if source_name == target_name:
+                continue
+            verdict = assess(family.get(source_name), family.get(target_name))
+            rows.append({
+                "from": source_name,
+                "to": target_name,
+                "binary_compatible": verdict.runs_unmodified,
+                "remedy": verdict.remedy,
+                "visible_changes": verdict.drift.severity,
+            })
+    return rows

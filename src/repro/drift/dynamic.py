@@ -1,0 +1,126 @@
+"""Code-cache / dynamic-optimization amortisation model.
+
+Static translation and dynamic re-optimization are one-time costs; what
+the user experiences is their amortisation over repeated executions of the
+same binary (paper §2.2: "the advantages of altering binaries while
+they're loaded and while they're running are huge").  This module models
+the classic staged pipeline of a dynamic optimizer:
+
+1. cold code runs through the (slow) interpreting/translating path,
+2. blocks that cross an execution-count threshold are translated into the
+   code cache at ``TRANSLATION_CYCLES_PER_OP`` apiece,
+3. hot blocks are further re-optimized (custom-op re-matching, better
+   scheduling) at a higher one-time cost, after which they run at
+   near-native-recompile speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StagedExecutionModel:
+    """Cycle model for repeated runs of a drifted binary.
+
+    Parameters
+    ----------
+    native_cycles:
+        Per-run cycles of code natively recompiled for the target.
+    translated_cycles:
+        Per-run cycles of statically translated code (no target ISE use).
+    interpreted_slowdown:
+        Multiplier applied to translated_cycles while code is still cold
+        (emulation/interpretation before translation).
+    translation_cost:
+        One-time cycles to statically translate the program.
+    reoptimization_cost:
+        One-time cycles to re-optimize hot code to near-native quality.
+    hot_fraction:
+        Fraction of execution covered by hot (re-optimizable) code.
+    """
+
+    native_cycles: float
+    translated_cycles: float
+    interpreted_slowdown: float = 4.0
+    translation_cost: float = 0.0
+    reoptimization_cost: float = 0.0
+    hot_fraction: float = 0.9
+    translation_threshold_runs: int = 1
+    reoptimization_threshold_runs: int = 3
+
+    def cycles_for_run(self, run_index: int) -> float:
+        """Cycles of the ``run_index``-th execution (0-based)."""
+        if run_index < self.translation_threshold_runs:
+            return self.translated_cycles * self.interpreted_slowdown
+        cycles = 0.0
+        if run_index == self.translation_threshold_runs:
+            cycles += self.translation_cost
+        if run_index < self.reoptimization_threshold_runs:
+            return cycles + self.translated_cycles
+        if run_index == self.reoptimization_threshold_runs:
+            cycles += self.reoptimization_cost
+        hot = self.hot_fraction
+        steady = hot * self.native_cycles + (1.0 - hot) * self.translated_cycles
+        return cycles + steady
+
+    def cumulative_cycles(self, runs: int) -> float:
+        """Total cycles over ``runs`` consecutive executions."""
+        return sum(self.cycles_for_run(i) for i in range(runs))
+
+    def average_overhead(self, runs: int) -> float:
+        """Average per-run overhead vs. native recompilation (1.0 = parity)."""
+        if runs <= 0:
+            return float("inf")
+        native_total = self.native_cycles * runs
+        if native_total <= 0:
+            return float("inf")
+        return self.cumulative_cycles(runs) / native_total
+
+    def break_even_runs(self, tolerance: float = 1.10, max_runs: int = 10_000) -> Optional[int]:
+        """Smallest run count whose average overhead drops below ``tolerance``."""
+        for runs in range(1, max_runs + 1):
+            if self.average_overhead(runs) <= tolerance:
+                return runs
+        return None
+
+
+@dataclass
+class CodeCache:
+    """A simple translated-code cache with per-block execution counters."""
+
+    translation_threshold: int = 10
+    reoptimization_threshold: int = 1000
+    counters: Dict[str, int] = field(default_factory=dict)
+    translated: Dict[str, bool] = field(default_factory=dict)
+    reoptimized: Dict[str, bool] = field(default_factory=dict)
+    translations: int = 0
+    reoptimizations: int = 0
+
+    def touch(self, block_name: str, count: int = 1) -> str:
+        """Record ``count`` executions of a block; returns its current tier.
+
+        Tiers: ``"cold"`` (interpreted), ``"translated"``, ``"hot"``
+        (re-optimized).
+        """
+        total = self.counters.get(block_name, 0) + count
+        self.counters[block_name] = total
+        if total >= self.reoptimization_threshold and not self.reoptimized.get(block_name):
+            self.reoptimized[block_name] = True
+            self.reoptimizations += 1
+        elif total >= self.translation_threshold and not self.translated.get(block_name):
+            self.translated[block_name] = True
+            self.translations += 1
+        if self.reoptimized.get(block_name):
+            return "hot"
+        if self.translated.get(block_name):
+            return "translated"
+        return "cold"
+
+    def tier_of(self, block_name: str) -> str:
+        if self.reoptimized.get(block_name):
+            return "hot"
+        if self.translated.get(block_name):
+            return "translated"
+        return "cold"

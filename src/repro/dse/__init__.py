@@ -1,0 +1,15 @@
+"""Design-space exploration: custom-fit processors for an application area."""
+
+from .space import DesignPoint, DesignSpace
+from .objectives import Evaluation, Evaluator, KernelMeasurement
+from .pareto import dominates, knee_point, normalize, pareto_front
+from .explorer import OBJECTIVES, ExplorationResult, Explorer
+from .ablation import AblationRow, run_ablation
+
+__all__ = [
+    "DesignPoint", "DesignSpace",
+    "Evaluation", "Evaluator", "KernelMeasurement",
+    "dominates", "knee_point", "normalize", "pareto_front",
+    "OBJECTIVES", "ExplorationResult", "Explorer",
+    "AblationRow", "run_ablation",
+]

@@ -1,0 +1,138 @@
+"""Per-axis ablation of the visible-customization axes (experiment E8).
+
+Starting from a reference machine, each §1.2 axis is varied in isolation
+and the workload mix re-measured, quantifying how much each kind of
+architecturally visible change contributes on its own: issue width,
+register count, clustering, specialised-unit mix, operation latencies,
+instruction compression, and application-specific custom operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch.machine import MachineDescription
+from ..arch.operations import OperationClass
+from .objectives import Evaluation, Evaluator
+
+
+@dataclass
+class AblationRow:
+    """One ablation measurement relative to the reference machine."""
+
+    axis: str
+    variant: str
+    evaluation: Evaluation
+    reference_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        cycles = self.evaluation.weighted_cycles
+        if cycles <= 0:
+            return 0.0
+        return self.reference_cycles / cycles
+
+    @property
+    def area_ratio(self) -> float:
+        return 0.0 if self.evaluation.area_kgates <= 0 else self.evaluation.area_kgates
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "axis": self.axis,
+            "variant": self.variant,
+            "feasible": self.evaluation.feasible,
+            "cycles": round(self.evaluation.weighted_cycles),
+            "speedup_vs_ref": round(self.speedup, 3),
+            "area_kgates": round(self.evaluation.area_kgates, 1),
+            "code_bytes": self.evaluation.total_code_bytes,
+        }
+
+
+def run_ablation(evaluator: Evaluator, reference: MachineDescription,
+                 custom_budget: float = 40.0) -> List[AblationRow]:
+    """Vary each visible-customization axis in isolation from ``reference``."""
+    rows: List[AblationRow] = []
+    reference_eval = evaluator.evaluate(reference)
+    reference_cycles = reference_eval.weighted_cycles
+    rows.append(AblationRow("reference", reference.name, reference_eval,
+                            reference_cycles))
+
+    def add(axis: str, variant: str, machine: MachineDescription,
+            budget: float = 0.0) -> None:
+        evaluation = evaluator.evaluate(machine, custom_area_budget=budget)
+        rows.append(AblationRow(axis, variant, evaluation, reference_cycles))
+
+    # Issue width (multiple visible ALUs).
+    for width in (1, 2, 8):
+        if width == reference.issue_width:
+            continue
+        machine = reference.clone(f"{reference.name}-w{width}")
+        machine.issue_width = width
+        machine.functional_units = []
+        machine.__post_init__()
+        add("issue_width", f"{width}-issue", machine)
+
+    # Register count.
+    for registers in (16, 32, 128):
+        if registers == reference.registers_per_cluster:
+            continue
+        machine = reference.clone(f"{reference.name}-r{registers}")
+        machine.registers_per_cluster = registers
+        add("registers", f"{registers} regs", machine)
+
+    # Register clusters.
+    if reference.issue_width % 2 == 0:
+        machine = reference.clone(f"{reference.name}-2cl")
+        machine.num_clusters = 2
+        machine.registers_per_cluster = max(8, reference.registers_per_cluster // 2)
+        add("clusters", "2 clusters", machine)
+
+    # Specialised units: extra multiplier, extra memory port.
+    machine = reference.clone(f"{reference.name}-2mul")
+    machine.functional_units = [
+        FunctionalUnitCopy(fu) for fu in reference.functional_units
+    ]
+    for fu in machine.functional_units:
+        if OperationClass.IMUL in fu.classes:
+            fu.count += 1
+    add("fu_mix", "extra multiplier", machine)
+
+    machine = reference.clone(f"{reference.name}-2mem")
+    machine.functional_units = [
+        FunctionalUnitCopy(fu) for fu in reference.functional_units
+    ]
+    for fu in machine.functional_units:
+        if OperationClass.MEM in fu.classes:
+            fu.count += 1
+    add("fu_mix", "extra memory port", machine)
+
+    # Latencies: slower multiplier / faster memory.
+    machine = reference.clone(f"{reference.name}-slowmul")
+    machine.latency_overrides = dict(machine.latency_overrides)
+    machine.latency_overrides[OperationClass.IMUL] = 4
+    add("latency", "4-cycle multiply", machine)
+
+    machine = reference.clone(f"{reference.name}-fastmem")
+    machine.latency_overrides = dict(machine.latency_overrides)
+    machine.latency_overrides[OperationClass.MEM] = 1
+    add("latency", "1-cycle load", machine)
+
+    # Instruction compression.
+    machine = reference.clone(f"{reference.name}-nocompress")
+    machine.compressed_encoding = not reference.compressed_encoding
+    variant = "no compression" if reference.compressed_encoding else "compression"
+    add("encoding", variant, machine)
+
+    # Custom operations.
+    add("custom_ops", f"ISE budget {custom_budget:.0f} kgates",
+        reference.clone(f"{reference.name}-ise"), budget=custom_budget)
+
+    return rows
+
+
+def FunctionalUnitCopy(fu):
+    """Deep-copy one functional unit (dataclass copy with fresh identity)."""
+    from ..arch.machine import FunctionalUnit
+
+    return FunctionalUnit(fu.name, frozenset(fu.classes), fu.count)

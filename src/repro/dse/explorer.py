@@ -1,0 +1,190 @@
+"""Design-space exploration: fitting an architecture to an application.
+
+The explorer evaluates design points against a workload mix and returns
+the evaluations, the Pareto front over (time, area), and the best point
+under a chosen scalar objective.  Three search strategies are provided:
+
+* exhaustive — enumerate the whole (small) space,
+* greedy — coordinate ascent from a starting point, one axis at a time,
+* annealing — simulated annealing over the axes with a deterministic RNG.
+
+Exploration re-runs the full toolchain (compile, optionally customize,
+schedule, simulate) for every point, which is exactly the "explore a
+design space of architectures to fit one to a given application" loop the
+paper describes the table-driven toolchain enabling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .objectives import Evaluation, Evaluator
+from .pareto import knee_point, pareto_front
+from .space import DesignPoint, DesignSpace
+
+
+#: scalar objectives: map an Evaluation to a figure of merit (higher = better).
+OBJECTIVES: Dict[str, Callable[[Evaluation], float]] = {
+    "performance": lambda e: e.performance,
+    "perf_per_area": lambda e: e.perf_per_area,
+    "perf_per_watt": lambda e: e.perf_per_watt,
+}
+
+
+@dataclass
+class ExplorationResult:
+    """Everything an exploration run produced."""
+
+    evaluations: List[Evaluation] = field(default_factory=list)
+    best: Optional[Evaluation] = None
+    objective: str = "perf_per_area"
+    points_evaluated: int = 0
+
+    def feasible(self) -> List[Evaluation]:
+        return [e for e in self.evaluations if e.feasible]
+
+    def pareto(self) -> List[Evaluation]:
+        """Pareto front over (execution time, core area)."""
+        return pareto_front(
+            self.feasible(),
+            key=lambda e: (e.weighted_time_us, e.area_kgates),
+        )
+
+    def knee(self) -> Optional[Evaluation]:
+        return knee_point(
+            self.feasible(),
+            key=lambda e: (e.weighted_time_us, e.area_kgates),
+        )
+
+    def table(self) -> List[Dict[str, object]]:
+        rows = [e.summary_row() for e in self.evaluations]
+        rows.sort(key=lambda r: (-int(r["feasible"]), r["time_us"]))
+        return rows
+
+
+class Explorer:
+    """Searches a :class:`DesignSpace` for the best fit to a workload mix."""
+
+    def __init__(self, evaluator: Evaluator, objective: str = "perf_per_area") -> None:
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective '{objective}'; options: {', '.join(OBJECTIVES)}"
+            )
+        self.evaluator = evaluator
+        self.objective = objective
+        self._objective_fn = OBJECTIVES[objective]
+        self._cache: Dict[str, Evaluation] = {}
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, point: DesignPoint) -> Evaluation:
+        key = point.name()
+        if key not in self._cache:
+            machine = point.to_machine()
+            self._cache[key] = self.evaluator.evaluate(
+                machine, custom_area_budget=point.custom_area_budget
+            )
+        return self._cache[key]
+
+    def _score(self, evaluation: Evaluation) -> float:
+        if not evaluation.feasible:
+            return float("-inf")
+        return self._objective_fn(evaluation)
+
+    # ------------------------------------------------------------------
+    # Strategies.
+    # ------------------------------------------------------------------
+    def exhaustive(self, space: DesignSpace) -> ExplorationResult:
+        """Evaluate every point of ``space``."""
+        result = ExplorationResult(objective=self.objective)
+        for point in space.points():
+            evaluation = self._evaluate(point)
+            result.evaluations.append(evaluation)
+            result.points_evaluated += 1
+            if result.best is None or self._score(evaluation) > self._score(result.best):
+                result.best = evaluation
+        return result
+
+    def greedy(self, space: DesignSpace,
+               start: Optional[DesignPoint] = None,
+               max_rounds: int = 4) -> ExplorationResult:
+        """Coordinate ascent: improve one axis at a time until no axis helps."""
+        axes: Dict[str, Sequence] = {
+            "issue_width": space.issue_widths,
+            "registers": space.register_counts,
+            "clusters": space.cluster_counts,
+            "mul_units": space.mul_unit_counts,
+            "mem_units": space.mem_unit_counts,
+            "custom_area_budget": space.custom_budgets,
+        }
+        current = start or DesignPoint(
+            issue_width=min(space.issue_widths),
+            registers=min(space.register_counts),
+            clusters=min(space.cluster_counts),
+            mul_units=min(space.mul_unit_counts),
+            mem_units=min(space.mem_unit_counts),
+            custom_area_budget=min(space.custom_budgets),
+        )
+        result = ExplorationResult(objective=self.objective)
+        best_eval = self._evaluate(current)
+        result.evaluations.append(best_eval)
+        result.points_evaluated += 1
+
+        for _ in range(max_rounds):
+            improved = False
+            for axis, options in axes.items():
+                for option in options:
+                    if getattr(current, axis) == option:
+                        continue
+                    candidate = DesignPoint(**{**current.__dict__, axis: option})
+                    if candidate.issue_width % candidate.clusters != 0:
+                        continue
+                    evaluation = self._evaluate(candidate)
+                    if evaluation not in result.evaluations:
+                        result.evaluations.append(evaluation)
+                        result.points_evaluated += 1
+                    if self._score(evaluation) > self._score(best_eval):
+                        best_eval = evaluation
+                        current = candidate
+                        improved = True
+            if not improved:
+                break
+
+        result.best = best_eval
+        return result
+
+    def annealing(self, space: DesignSpace, iterations: int = 40,
+                  seed: int = 7, initial_temperature: float = 1.0) -> ExplorationResult:
+        """Simulated annealing with a deterministic RNG."""
+        rng = random.Random(seed)
+        points = list(space.points())
+        if not points:
+            raise ValueError("design space is empty")
+        current = rng.choice(points)
+        current_eval = self._evaluate(current)
+        best_eval = current_eval
+
+        result = ExplorationResult(objective=self.objective)
+        result.evaluations.append(current_eval)
+        result.points_evaluated += 1
+
+        for step in range(iterations):
+            temperature = initial_temperature * (1.0 - step / max(1, iterations))
+            candidate = rng.choice(points)
+            evaluation = self._evaluate(candidate)
+            if evaluation not in result.evaluations:
+                result.evaluations.append(evaluation)
+                result.points_evaluated += 1
+            delta = self._score(evaluation) - self._score(current_eval)
+            accept = delta > 0
+            if not accept and temperature > 0 and math.isfinite(delta):
+                accept = rng.random() < math.exp(delta / max(temperature, 1e-6))
+            if accept:
+                current, current_eval = candidate, evaluation
+            if self._score(evaluation) > self._score(best_eval):
+                best_eval = evaluation
+
+        result.best = best_eval
+        return result

@@ -1,0 +1,190 @@
+"""Evaluation of one machine against one workload mix.
+
+The evaluator compiles each kernel of a weighted mix for the candidate
+machine (optionally customizing the ISA first, with a private extension
+library so candidate machines do not contaminate each other), runs the
+cycle simulator, and reduces the measurements to the objective metrics
+the paper's argument uses: execution time, silicon area, energy, code
+size, and their ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.area import estimate_area
+from ..arch.machine import MachineDescription
+from ..backend.codegen import compile_module
+from ..core.customizer import IsaCustomizer
+from ..core.identification import EnumerationConfig
+from ..core.library import ExtensionLibrary
+from ..core.selection import SelectionConfig
+from ..opt import optimize
+from ..sim.cycle import CycleSimulator
+from ..workloads.kernels import Kernel
+from ..workloads.suite import WorkloadMix, compile_kernel
+
+
+@dataclass
+class KernelMeasurement:
+    """Cycle/energy/code measurements of one kernel on one machine."""
+
+    kernel: str
+    weight: float
+    cycles: int
+    correct: bool
+    energy_uj: float
+    code_bytes: int
+    ipc: float
+
+
+@dataclass
+class Evaluation:
+    """Aggregate evaluation of one machine over a workload mix."""
+
+    machine: MachineDescription
+    measurements: List[KernelMeasurement] = field(default_factory=list)
+    customized: bool = False
+    custom_ops: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return bool(self.measurements) and all(m.correct for m in self.measurements)
+
+    @property
+    def weighted_cycles(self) -> float:
+        return sum(m.cycles * m.weight for m in self.measurements)
+
+    @property
+    def weighted_time_us(self) -> float:
+        return self.weighted_cycles * self.machine.clock_ns / 1000.0
+
+    @property
+    def weighted_energy_uj(self) -> float:
+        return sum(m.energy_uj * m.weight for m in self.measurements)
+
+    @property
+    def total_code_bytes(self) -> int:
+        return sum(m.code_bytes for m in self.measurements)
+
+    @property
+    def area_kgates(self) -> float:
+        return estimate_area(self.machine).core
+
+    @property
+    def performance(self) -> float:
+        """Throughput-style metric: 1e6 / weighted execution time (us)."""
+        time = self.weighted_time_us
+        return 0.0 if time <= 0 else 1e6 / time
+
+    @property
+    def perf_per_area(self) -> float:
+        area = self.area_kgates
+        return 0.0 if area <= 0 else self.performance / area
+
+    @property
+    def perf_per_watt(self) -> float:
+        energy = self.weighted_energy_uj
+        return 0.0 if energy <= 0 else self.performance / energy
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine.name,
+            "feasible": self.feasible,
+            "custom_ops": self.custom_ops,
+            "cycles": round(self.weighted_cycles),
+            "time_us": round(self.weighted_time_us, 2),
+            "area_kgates": round(self.area_kgates, 1),
+            "energy_uj": round(self.weighted_energy_uj, 2),
+            "code_bytes": self.total_code_bytes,
+            "perf": round(self.performance, 3),
+            "perf_per_area": round(self.perf_per_area, 5),
+        }
+
+
+class Evaluator:
+    """Compiles and measures workload mixes on candidate machines."""
+
+    def __init__(self, mix: WorkloadMix, size: Optional[int] = None,
+                 opt_level: int = 3, seed: int = 1234) -> None:
+        self.mix = mix
+        self.size = size
+        self.opt_level = opt_level
+        self.seed = seed
+        # Pre-compile the machine-independent IR once per kernel.
+        self._modules = {}
+        for kernel, weight in mix.kernels():
+            module = compile_kernel(kernel.name)
+            optimize(module, level=self.opt_level)
+            self._modules[kernel.name] = module
+
+    def evaluate(self, machine: MachineDescription,
+                 custom_area_budget: float = 0.0) -> Evaluation:
+        """Measure ``machine`` on the mix; optionally customize its ISA first."""
+        evaluation = Evaluation(machine=machine)
+        library = ExtensionLibrary()
+        working_machine = machine
+
+        modules = {name: module.clone() for name, module in self._modules.items()}
+
+        if custom_area_budget > 0.0:
+            customizer = IsaCustomizer(
+                machine,
+                enumeration=EnumerationConfig(max_outputs=1),
+                selection_config=SelectionConfig(
+                    area_budget_kgates=custom_area_budget
+                ),
+                library=library,
+            )
+            weighted = [(modules[kernel.name], weight)
+                        for kernel, weight in self.mix.kernels()]
+            result = customizer.customize_for_area(
+                weighted, name=f"{machine.name}+x{int(custom_area_budget)}"
+            )
+            working_machine = result.machine
+            evaluation.machine = working_machine
+            evaluation.customized = True
+            evaluation.custom_ops = result.report.operations_selected
+
+        # The cycle simulator resolves custom ops through the global library;
+        # temporarily install this evaluation's private library entries.
+        from ..core.library import global_extension_library
+
+        global_lib = global_extension_library()
+        added = []
+        for entry in library:
+            if entry.name not in global_lib:
+                global_lib.register(entry.pattern, entry.operation)
+                added.append(entry.name)
+
+        try:
+            for kernel, weight in self.mix.kernels():
+                module = modules[kernel.name]
+                args = kernel.arguments(self.size, seed=self.seed)
+                expected = kernel.expected(args)
+                try:
+                    compiled, report = compile_module(module, working_machine)
+                    simulator = CycleSimulator(compiled)
+                    run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+                    result = simulator.run(kernel.entry, *run_args)
+                    evaluation.measurements.append(KernelMeasurement(
+                        kernel=kernel.name,
+                        weight=weight,
+                        cycles=result.cycles,
+                        correct=(result.value == expected),
+                        energy_uj=result.energy_uj,
+                        code_bytes=(report.code.bytes_effective
+                                    if report.code is not None else 0),
+                        ipc=result.stats.ipc,
+                    ))
+                except Exception:  # noqa: BLE001 - infeasible point
+                    evaluation.measurements.append(KernelMeasurement(
+                        kernel=kernel.name, weight=weight, cycles=0,
+                        correct=False, energy_uj=0.0, code_bytes=0, ipc=0.0,
+                    ))
+        finally:
+            for name in added:
+                global_lib.remove(name)
+
+        return evaluation

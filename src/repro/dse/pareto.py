@@ -1,0 +1,65 @@
+"""Pareto-front utilities for multi-objective architecture selection."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if objective vector ``a`` dominates ``b`` (all <=, one <).
+
+    Objectives are costs: smaller is better for every component.
+    """
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have the same length")
+    at_least_one_strict = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            at_least_one_strict = True
+    return at_least_one_strict
+
+
+def pareto_front(items: Sequence, key: Callable[[object], Sequence[float]]) -> List:
+    """Return the non-dominated subset of ``items`` under cost vectors ``key``."""
+    front: List = []
+    vectors = [(item, tuple(key(item))) for item in items]
+    for item, vector in vectors:
+        dominated = False
+        for _, other in vectors:
+            if other is vector:
+                continue
+            if dominates(other, vector):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Scale a list of values to [0, 1] (constant lists map to zeros)."""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return [0.0 for _ in values]
+    return [(v - low) / (high - low) for v in values]
+
+
+def knee_point(items: Sequence, key: Callable[[object], Sequence[float]]):
+    """Return the Pareto point closest to the normalized ideal corner."""
+    front = pareto_front(items, key)
+    if not front:
+        return None
+    vectors = [key(item) for item in front]
+    dims = len(vectors[0])
+    columns = [normalize([v[d] for v in vectors]) for d in range(dims)]
+    best_index = 0
+    best_distance = float("inf")
+    for i in range(len(front)):
+        distance = sum(columns[d][i] ** 2 for d in range(dims)) ** 0.5
+        if distance < best_distance:
+            best_distance = distance
+            best_index = i
+    return front[best_index]

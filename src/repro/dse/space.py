@@ -1,0 +1,133 @@
+"""The architectural design space ("Custom-Fit Processors").
+
+A :class:`DesignSpace` enumerates machine descriptions over the visible
+customization axes of paper §1.2: issue width, register-file size,
+clustering, functional-unit mix (specialised ALUs), operation latencies,
+instruction compression and the presence of an application-specific
+custom-operation budget.  The explorer evaluates points of this space
+against a workload and picks the member that fits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..arch.machine import FunctionalUnit, MachineDescription
+from ..arch.operations import OperationClass
+from ..arch.presets import vliw
+
+
+@dataclass
+class DesignPoint:
+    """One concrete assignment of the design-space axes."""
+
+    issue_width: int = 4
+    registers: int = 64
+    clusters: int = 1
+    mul_units: int = 1
+    mem_units: int = 1
+    has_fpu: bool = False
+    mul_latency: int = 2
+    mem_latency: int = 2
+    compressed_encoding: bool = True
+    custom_area_budget: float = 0.0   # 0 disables ISA customization
+
+    def name(self) -> str:
+        parts = [f"w{self.issue_width}", f"r{self.registers}", f"c{self.clusters}",
+                 f"m{self.mul_units}", f"ls{self.mem_units}"]
+        if self.has_fpu:
+            parts.append("fpu")
+        if self.custom_area_budget > 0:
+            parts.append(f"x{int(self.custom_area_budget)}")
+        return "-".join(parts)
+
+    def to_machine(self) -> MachineDescription:
+        """Instantiate the machine description for this point."""
+        units = [
+            FunctionalUnit("ialu", frozenset({OperationClass.IALU}),
+                           count=self.issue_width),
+            FunctionalUnit("imul", frozenset({OperationClass.IMUL}),
+                           count=max(1, self.mul_units)),
+            FunctionalUnit("mem", frozenset({OperationClass.MEM}),
+                           count=max(1, self.mem_units)),
+            FunctionalUnit("br", frozenset({OperationClass.BRANCH}), count=1),
+            FunctionalUnit("idiv", frozenset({OperationClass.IDIV}), count=1),
+        ]
+        if self.has_fpu:
+            units.append(FunctionalUnit(
+                "fpu", frozenset({OperationClass.FPU, OperationClass.FDIV}), count=1
+            ))
+        base = vliw(self.issue_width, name=self.name(),
+                    registers=self.registers, clusters=self.clusters,
+                    compressed=self.compressed_encoding)
+        machine = MachineDescription(
+            name=self.name(),
+            issue_width=self.issue_width,
+            num_clusters=self.clusters,
+            registers_per_cluster=max(8, self.registers // self.clusters),
+            functional_units=units,
+            latency_overrides={
+                OperationClass.IMUL: self.mul_latency,
+                OperationClass.MEM: self.mem_latency,
+            },
+            branch_penalty=base.branch_penalty,
+            icache=base.icache,
+            dcache=base.dcache,
+            compressed_encoding=self.compressed_encoding,
+            clock_ns=base.clock_ns,
+            notes=f"design point {self.name()}",
+        )
+        return machine
+
+
+@dataclass
+class DesignSpace:
+    """Cartesian product of per-axis choices."""
+
+    issue_widths: Sequence[int] = (1, 2, 4, 8)
+    register_counts: Sequence[int] = (32, 64)
+    cluster_counts: Sequence[int] = (1, 2)
+    mul_unit_counts: Sequence[int] = (1, 2)
+    mem_unit_counts: Sequence[int] = (1, 2)
+    fpu_options: Sequence[bool] = (False,)
+    mul_latencies: Sequence[int] = (2,)
+    mem_latencies: Sequence[int] = (2,)
+    compression_options: Sequence[bool] = (True,)
+    custom_budgets: Sequence[float] = (0.0,)
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Yield every feasible design point."""
+        for combo in itertools.product(
+            self.issue_widths, self.register_counts, self.cluster_counts,
+            self.mul_unit_counts, self.mem_unit_counts, self.fpu_options,
+            self.mul_latencies, self.mem_latencies, self.compression_options,
+            self.custom_budgets,
+        ):
+            (width, regs, clusters, muls, mems, fpu, mul_lat, mem_lat,
+             compressed, budget) = combo
+            if width % clusters != 0:
+                continue
+            if muls > width or mems > width:
+                continue
+            yield DesignPoint(
+                issue_width=width, registers=regs, clusters=clusters,
+                mul_units=muls, mem_units=mems, has_fpu=fpu,
+                mul_latency=mul_lat, mem_latency=mem_lat,
+                compressed_encoding=compressed, custom_area_budget=budget,
+            )
+
+    def size(self) -> int:
+        return sum(1 for _ in self.points())
+
+    @staticmethod
+    def small() -> "DesignSpace":
+        """A small space that explores quickly (used by tests/examples)."""
+        return DesignSpace(
+            issue_widths=(1, 2, 4),
+            register_counts=(32, 64),
+            cluster_counts=(1,),
+            mul_unit_counts=(1, 2),
+            mem_unit_counts=(1, 2),
+        )

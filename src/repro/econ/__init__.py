@@ -1,0 +1,30 @@
+"""Economic models behind the paper's barriers: price/performance (Table 1),
+volume/yield chip cost, system-on-chip integration, and development-cycle risk."""
+
+from .priceperf import (
+    PremiumAnalysis, PricePerformanceRow, TABLE1_PUBLISHED_RATIOS, TABLE1_ROWS,
+    analyze_premium, compute_table1, matches_published_ratios, synthetic_table,
+)
+from .volume import (
+    ChipProject, ProcessAssumptions, cost_vs_volume, crossover_volume,
+    die_area_mm2, die_yield, gross_dies_per_wafer, learning_curve_factor,
+    unit_cost, unit_price, unit_silicon_cost,
+)
+from .soc import (
+    BoardComponent, SystemCostBreakdown, SystemDesign, discrete_system_cost,
+    integration_advantage, reference_set_top_design, soc_system_cost,
+)
+from .devcycle import DevelopmentCycleModel, KernelOutcome
+
+__all__ = [
+    "PremiumAnalysis", "PricePerformanceRow", "TABLE1_PUBLISHED_RATIOS",
+    "TABLE1_ROWS", "analyze_premium", "compute_table1",
+    "matches_published_ratios", "synthetic_table",
+    "ChipProject", "ProcessAssumptions", "cost_vs_volume", "crossover_volume",
+    "die_area_mm2", "die_yield", "gross_dies_per_wafer",
+    "learning_curve_factor", "unit_cost", "unit_price", "unit_silicon_cost",
+    "BoardComponent", "SystemCostBreakdown", "SystemDesign",
+    "discrete_system_cost", "integration_advantage",
+    "reference_set_top_design", "soc_system_cost",
+    "DevelopmentCycleModel", "KernelOutcome",
+]

@@ -1,0 +1,150 @@
+"""System-on-chip integration economics (the §4.1 "sea change").
+
+The paper's answer to the volume barrier: once the processor is just a
+*core* on a product-specific SoC, every chip is made for the anticipated
+use anyway — the discrete mass-market processor's volume advantage no
+longer applies, and what matters is the board-level saving from absorbing
+components into the SoC versus the incremental silicon the core occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .volume import ChipProject, ProcessAssumptions, unit_price
+
+
+@dataclass
+class BoardComponent:
+    """A discrete component that SoC integration can absorb."""
+
+    name: str
+    unit_cost_usd: float
+    board_area_cm2: float
+    can_integrate: bool = True
+    #: silicon the absorbed function occupies on the SoC.
+    integrated_kgates: float = 0.0
+    integrated_sram_kbytes: float = 0.0
+
+
+@dataclass
+class SystemDesign:
+    """A product's electronics: a processor plus surrounding components."""
+
+    name: str
+    processor_kgates: float
+    processor_sram_kbytes: float
+    components: List[BoardComponent] = field(default_factory=list)
+    volume: int = 250_000
+    nre_usd: float = 3_000_000.0
+    board_cost_per_cm2: float = 0.55
+    assembly_cost_per_component: float = 0.35
+
+
+@dataclass
+class SystemCostBreakdown:
+    """Per-unit cost of one packaging option (discrete vs. SoC)."""
+
+    option: str
+    silicon_usd: float
+    components_usd: float
+    board_usd: float
+    assembly_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.silicon_usd + self.components_usd + self.board_usd + self.assembly_usd
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "option": self.option,
+            "silicon_usd": round(self.silicon_usd, 2),
+            "components_usd": round(self.components_usd, 2),
+            "board_usd": round(self.board_usd, 2),
+            "assembly_usd": round(self.assembly_usd, 2),
+            "total_usd": round(self.total_usd, 2),
+        }
+
+
+def discrete_system_cost(design: SystemDesign,
+                         processor_price_usd: float,
+                         process: Optional[ProcessAssumptions] = None
+                         ) -> SystemCostBreakdown:
+    """Cost with a bought-in discrete processor and all components on-board."""
+    components = sum(c.unit_cost_usd for c in design.components)
+    board_area = sum(c.board_area_cm2 for c in design.components) + 12.0
+    assembly = design.assembly_cost_per_component * (len(design.components) + 1)
+    return SystemCostBreakdown(
+        option="discrete",
+        silicon_usd=processor_price_usd,
+        components_usd=components,
+        board_usd=board_area * design.board_cost_per_cm2,
+        assembly_usd=assembly,
+    )
+
+
+def soc_system_cost(design: SystemDesign,
+                    process: Optional[ProcessAssumptions] = None
+                    ) -> SystemCostBreakdown:
+    """Cost with the processor core and integrable components on one SoC."""
+    process = process or ProcessAssumptions()
+    integrated = [c for c in design.components if c.can_integrate]
+    external = [c for c in design.components if not c.can_integrate]
+
+    soc = ChipProject(
+        name=f"{design.name}-soc",
+        core_kgates=design.processor_kgates
+        + sum(c.integrated_kgates for c in integrated),
+        sram_kbytes=design.processor_sram_kbytes
+        + sum(c.integrated_sram_kbytes for c in integrated),
+        nre_usd=design.nre_usd,
+        volume=design.volume,
+    )
+    silicon = unit_price(soc, process)
+
+    components = sum(c.unit_cost_usd for c in external)
+    board_area = sum(c.board_area_cm2 for c in external) + 6.0
+    assembly = design.assembly_cost_per_component * (len(external) + 1)
+    return SystemCostBreakdown(
+        option="soc",
+        silicon_usd=silicon,
+        components_usd=components,
+        board_usd=board_area * design.board_cost_per_cm2,
+        assembly_usd=assembly,
+    )
+
+
+def integration_advantage(design: SystemDesign, processor_price_usd: float,
+                          process: Optional[ProcessAssumptions] = None) -> Dict[str, object]:
+    """Compare discrete vs. SoC packaging for one design."""
+    discrete = discrete_system_cost(design, processor_price_usd, process)
+    soc = soc_system_cost(design, process)
+    return {
+        "design": design.name,
+        "volume": design.volume,
+        "discrete_total_usd": round(discrete.total_usd, 2),
+        "soc_total_usd": round(soc.total_usd, 2),
+        "saving_usd": round(discrete.total_usd - soc.total_usd, 2),
+        "soc_wins": soc.total_usd < discrete.total_usd,
+    }
+
+
+def reference_set_top_design(volume: int = 500_000) -> SystemDesign:
+    """A representative late-1990s embedded product (set-top/printer class)."""
+    return SystemDesign(
+        name="set_top",
+        processor_kgates=180.0,
+        processor_sram_kbytes=24.0,
+        volume=volume,
+        components=[
+            BoardComponent("sdram_controller", 3.2, 2.0, True, 35.0, 0.0),
+            BoardComponent("video_dac", 2.8, 1.5, True, 20.0, 0.0),
+            BoardComponent("audio_codec_logic", 2.1, 1.2, True, 25.0, 4.0),
+            BoardComponent("io_glue", 1.8, 2.5, True, 15.0, 0.0),
+            BoardComponent("network_mac", 3.5, 1.8, True, 40.0, 8.0),
+            BoardComponent("flash", 4.0, 1.6, False),
+            BoardComponent("sdram", 6.5, 2.4, False),
+            BoardComponent("analog_front_end", 3.9, 2.2, False),
+        ],
+    )

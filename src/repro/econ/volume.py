@@ -1,0 +1,160 @@
+"""Volume economics of customized vs. mass-market processors (Barrier 3).
+
+Section 4 poses the product designer's choice: a simple customized
+processor versus a larger mass-market part that enjoys huge volumes ("if
+it had volume as small as the custom processor, the mass-market processor
+might cost twice as much or more...  but with its much larger volume it
+might cost less").  This module provides a first-order per-chip cost model
+— die cost from area/yield on a learning curve, plus amortised NRE — so
+that the crossover between the two options can be computed as a function
+of the product's volume, with and without the system-on-chip integration
+of §4.1 (modelled in :mod:`repro.econ.soc`).
+
+Constants are representative of a late-1990s 0.25 µm process; as with the
+area model only relative behaviour (who is cheaper, where the crossover
+falls) is meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ProcessAssumptions:
+    """Wafer-level process economics."""
+
+    wafer_cost_usd: float = 3500.0
+    wafer_diameter_mm: float = 200.0
+    defect_density_per_cm2: float = 0.8
+    #: silicon area per kgate, in mm^2 (standard-cell density, 0.25 µm).
+    mm2_per_kgate: float = 0.035
+    #: pad ring / analog / overhead area added to every die.
+    fixed_die_overhead_mm2: float = 8.0
+    #: learning-curve exponent: unit cost falls by this factor per doubling
+    #: of cumulative volume (0.85 = 15% per doubling, the classic figure).
+    learning_rate: float = 0.85
+    #: volume at which the learning curve is anchored (cost = nominal).
+    reference_volume: int = 100_000
+    #: test + package cost per good die.
+    package_test_usd: float = 4.0
+
+
+@dataclass
+class ChipProject:
+    """One chip: its size, NRE and sales volume."""
+
+    name: str
+    core_kgates: float
+    sram_kbytes: float = 16.0
+    nre_usd: float = 2_000_000.0
+    volume: int = 100_000
+    #: cumulative industry volume for mass-market parts (drives learning).
+    cumulative_volume: Optional[int] = None
+    margin: float = 1.45   # vendor gross margin multiplier on cost.
+
+
+#: kgate-equivalents per KB of on-chip SRAM (array + periphery).
+SRAM_KGATES_PER_KB = 9.0
+
+
+def die_area_mm2(project: ChipProject, process: ProcessAssumptions) -> float:
+    """Die area from logic gates, SRAM and fixed overhead."""
+    logic = project.core_kgates * process.mm2_per_kgate
+    sram = project.sram_kbytes * SRAM_KGATES_PER_KB * process.mm2_per_kgate
+    return logic + sram + process.fixed_die_overhead_mm2
+
+
+def gross_dies_per_wafer(area_mm2: float, process: ProcessAssumptions) -> int:
+    """Classic gross-die estimate accounting for edge loss."""
+    radius = process.wafer_diameter_mm / 2.0
+    wafer_area = math.pi * radius * radius
+    edge_loss = math.pi * process.wafer_diameter_mm / math.sqrt(2.0 * area_mm2)
+    return max(1, int(wafer_area / area_mm2 - edge_loss))
+
+
+def die_yield(area_mm2: float, process: ProcessAssumptions) -> float:
+    """Murphy/Poisson yield model."""
+    defects = process.defect_density_per_cm2 * (area_mm2 / 100.0)
+    return math.exp(-defects)
+
+
+def unit_silicon_cost(project: ChipProject, process: ProcessAssumptions) -> float:
+    """Cost of one good, packaged, tested die before NRE and margin."""
+    area = die_area_mm2(project, process)
+    good_dies = gross_dies_per_wafer(area, process) * die_yield(area, process)
+    if good_dies < 1:
+        good_dies = 1.0
+    die_cost = process.wafer_cost_usd / good_dies
+    return die_cost + process.package_test_usd
+
+
+def learning_curve_factor(volume: int, process: ProcessAssumptions) -> float:
+    """Cost multiplier vs. the reference volume (higher volume = cheaper)."""
+    if volume <= 0:
+        return 10.0
+    doublings = math.log2(volume / process.reference_volume)
+    return process.learning_rate ** doublings
+
+
+def unit_cost(project: ChipProject,
+              process: Optional[ProcessAssumptions] = None) -> float:
+    """All-in per-chip cost: silicon on the learning curve plus amortised NRE."""
+    process = process or ProcessAssumptions()
+    effective_volume = project.cumulative_volume or project.volume
+    silicon = unit_silicon_cost(project, process)
+    silicon *= learning_curve_factor(effective_volume, process)
+    nre = project.nre_usd / max(1, project.volume)
+    return silicon + nre
+
+
+def unit_price(project: ChipProject,
+               process: Optional[ProcessAssumptions] = None) -> float:
+    """Vendor selling price (cost times margin)."""
+    return unit_cost(project, process) * project.margin
+
+
+def cost_vs_volume(project: ChipProject, volumes: Sequence[int],
+                   process: Optional[ProcessAssumptions] = None) -> List[Dict[str, float]]:
+    """Per-chip cost of ``project`` swept over product volumes."""
+    rows = []
+    for volume in volumes:
+        swept = ChipProject(
+            name=project.name, core_kgates=project.core_kgates,
+            sram_kbytes=project.sram_kbytes, nre_usd=project.nre_usd,
+            volume=volume, cumulative_volume=project.cumulative_volume,
+            margin=project.margin,
+        )
+        rows.append({"volume": volume, "unit_cost": unit_cost(swept, process),
+                     "unit_price": unit_price(swept, process)})
+    return rows
+
+
+def crossover_volume(custom: ChipProject, mass_market: ChipProject,
+                     volumes: Sequence[int],
+                     process: Optional[ProcessAssumptions] = None) -> Optional[int]:
+    """Smallest product volume at which the custom chip is cheaper per unit.
+
+    The mass-market part's silicon rides its own (huge) cumulative volume
+    and carries no NRE for the buyer; the custom part pays NRE out of the
+    product's own volume.  Below the crossover, buying the mass-market part
+    is cheaper; above it, the custom part wins.
+    """
+    process = process or ProcessAssumptions()
+    for volume in sorted(volumes):
+        custom_at = ChipProject(
+            name=custom.name, core_kgates=custom.core_kgates,
+            sram_kbytes=custom.sram_kbytes, nre_usd=custom.nre_usd,
+            volume=volume, cumulative_volume=None, margin=custom.margin,
+        )
+        mass_at = ChipProject(
+            name=mass_market.name, core_kgates=mass_market.core_kgates,
+            sram_kbytes=mass_market.sram_kbytes, nre_usd=0.0,
+            volume=volume, cumulative_volume=mass_market.cumulative_volume,
+            margin=mass_market.margin,
+        )
+        if unit_price(custom_at, process) <= unit_price(mass_at, process):
+            return volume
+    return None

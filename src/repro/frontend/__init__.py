@@ -1,0 +1,11 @@
+"""Front ends producing repro IR.
+
+The main entry point is :func:`compile_c`, which lowers a self-contained
+subset of C (the subset embedded kernels are written in) to an IR
+:class:`~repro.ir.Module` via pycparser.  Programs can also be built
+directly with :class:`~repro.ir.IRBuilder`.
+"""
+
+from .c_frontend import CFrontendError, compile_c, compile_c_function
+
+__all__ = ["CFrontendError", "compile_c", "compile_c_function"]

@@ -1,0 +1,99 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction
+
+
+class BasicBlock:
+    """A maximal straight-line sequence of instructions.
+
+    Blocks are owned by a :class:`~repro.ir.function.Function`; the last
+    instruction of a complete block is always a terminator (jump, branch or
+    return).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.function = None
+        #: estimated/profiled execution frequency, set by the profiler or
+        #: by static loop-nesting heuristics.  Used to weight ISE gains.
+        self.frequency: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Mutation.
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst`` and take ownership of it."""
+        inst.block = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` at ``index``."""
+        inst.block = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        """Remove ``inst`` from this block."""
+        self.instructions.remove(inst)
+        inst.block = None
+
+    def replace(self, old: Instruction, new_insts: List[Instruction]) -> None:
+        """Replace ``old`` with a sequence of new instructions in place."""
+        index = self.instructions.index(old)
+        self.instructions[index:index + 1] = new_insts
+        old.block = None
+        for inst in new_insts:
+            inst.block = self
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator, or ``None`` if the block is incomplete."""
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        """Blocks this block may transfer control to."""
+        term = self.terminator
+        if term is None:
+            return []
+        return list(term.targets)
+
+    def predecessors(self) -> List["BasicBlock"]:
+        """Blocks that may transfer control to this block."""
+        if self.function is None:
+            return []
+        return [b for b in self.function.blocks if self in b.successors()]
+
+    def non_terminator_instructions(self) -> List[Instruction]:
+        """All instructions except the terminator."""
+        term = self.terminator
+        if term is None:
+            return list(self.instructions)
+        return self.instructions[:-1]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {inst}" for inst in self.instructions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,344 @@
+"""IRBuilder: a convenience API for constructing IR programmatically.
+
+The front end lowers C through this builder; examples and tests may also
+use it directly to construct kernels without going through C source.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from . import instructions as insts
+from .block import BasicBlock
+from .function import Function
+from .instructions import Instruction, Opcode
+from .module import Module
+from .types import FloatType, IntType, PointerType, Type, F32, I1, I32, VOID
+from .values import Constant, Value, VirtualRegister
+
+Operand = Union[Value, int, float]
+
+
+class IRBuilder:
+    """Builds instructions at an insertion point inside a function."""
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self.module = module or Module()
+        self.function: Optional[Function] = None
+        self.block: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    # Positioning.
+    # ------------------------------------------------------------------
+    def create_function(self, name: str, return_type: Type = VOID,
+                        param_types: Optional[Sequence[Type]] = None,
+                        param_names: Optional[Sequence[str]] = None) -> Function:
+        """Create a function, register it, and position at a fresh entry block."""
+        function = Function(name, return_type, list(param_types or []),
+                            list(param_names or []))
+        self.module.add_function(function)
+        self.function = function
+        self.block = function.new_block("entry")
+        return function
+
+    def set_insert_point(self, block: BasicBlock) -> None:
+        """Direct subsequent instructions into ``block``."""
+        self.block = block
+        self.function = block.function
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a new block in the current function (does not reposition)."""
+        if self.function is None:
+            raise RuntimeError("no current function")
+        return self.function.new_block(hint)
+
+    # ------------------------------------------------------------------
+    # Value coercion.
+    # ------------------------------------------------------------------
+    def _coerce(self, value: Operand, type_: Optional[Type] = None) -> Value:
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, bool):
+            return Constant(int(value), I1)
+        if isinstance(value, int):
+            return Constant(value, type_ if isinstance(type_, IntType) else I32)
+        if isinstance(value, float):
+            return Constant(value, type_ if isinstance(type_, FloatType) else F32)
+        raise TypeError(f"cannot use {value!r} as an IR operand")
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("no insertion point set")
+        if self.block.is_terminated():
+            raise RuntimeError(f"block {self.block.name} is already terminated")
+        return self.block.append(inst)
+
+    def _temp(self, type_: Type, name: str = "") -> VirtualRegister:
+        return VirtualRegister(type_, name)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic.
+    # ------------------------------------------------------------------
+    def _binary(self, opcode: Opcode, lhs: Operand, rhs: Operand,
+                result_type: Optional[Type] = None, name: str = "") -> VirtualRegister:
+        lhs_v = self._coerce(lhs)
+        rhs_v = self._coerce(rhs, lhs_v.type)
+        dest = self._temp(result_type or lhs_v.type, name)
+        self._emit(insts.binop(opcode, dest, lhs_v, rhs_v))
+        return dest
+
+    def add(self, lhs, rhs, name=""):
+        """Integer addition."""
+        return self._binary(Opcode.ADD, lhs, rhs, name=name)
+
+    def sub(self, lhs, rhs, name=""):
+        """Integer subtraction."""
+        return self._binary(Opcode.SUB, lhs, rhs, name=name)
+
+    def mul(self, lhs, rhs, name=""):
+        """Integer multiplication."""
+        return self._binary(Opcode.MUL, lhs, rhs, name=name)
+
+    def div(self, lhs, rhs, name=""):
+        """Integer division (truncating, signedness from operand type)."""
+        return self._binary(Opcode.DIV, lhs, rhs, name=name)
+
+    def rem(self, lhs, rhs, name=""):
+        """Integer remainder."""
+        return self._binary(Opcode.REM, lhs, rhs, name=name)
+
+    def and_(self, lhs, rhs, name=""):
+        """Bitwise AND."""
+        return self._binary(Opcode.AND, lhs, rhs, name=name)
+
+    def or_(self, lhs, rhs, name=""):
+        """Bitwise OR."""
+        return self._binary(Opcode.OR, lhs, rhs, name=name)
+
+    def xor(self, lhs, rhs, name=""):
+        """Bitwise XOR."""
+        return self._binary(Opcode.XOR, lhs, rhs, name=name)
+
+    def shl(self, lhs, rhs, name=""):
+        """Shift left."""
+        return self._binary(Opcode.SHL, lhs, rhs, name=name)
+
+    def shr(self, lhs, rhs, name=""):
+        """Logical shift right."""
+        return self._binary(Opcode.SHR, lhs, rhs, name=name)
+
+    def sar(self, lhs, rhs, name=""):
+        """Arithmetic shift right."""
+        return self._binary(Opcode.SAR, lhs, rhs, name=name)
+
+    def min(self, lhs, rhs, name=""):
+        """Integer minimum."""
+        return self._binary(Opcode.MIN, lhs, rhs, name=name)
+
+    def max(self, lhs, rhs, name=""):
+        """Integer maximum."""
+        return self._binary(Opcode.MAX, lhs, rhs, name=name)
+
+    def fadd(self, lhs, rhs, name=""):
+        """Floating-point addition."""
+        return self._binary(Opcode.FADD, lhs, rhs, name=name)
+
+    def fsub(self, lhs, rhs, name=""):
+        """Floating-point subtraction."""
+        return self._binary(Opcode.FSUB, lhs, rhs, name=name)
+
+    def fmul(self, lhs, rhs, name=""):
+        """Floating-point multiplication."""
+        return self._binary(Opcode.FMUL, lhs, rhs, name=name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        """Floating-point division."""
+        return self._binary(Opcode.FDIV, lhs, rhs, name=name)
+
+    def neg(self, src, name=""):
+        """Integer negation."""
+        src_v = self._coerce(src)
+        dest = self._temp(src_v.type, name)
+        self._emit(insts.unop(Opcode.NEG, dest, src_v))
+        return dest
+
+    def not_(self, src, name=""):
+        """Bitwise complement."""
+        src_v = self._coerce(src)
+        dest = self._temp(src_v.type, name)
+        self._emit(insts.unop(Opcode.NOT, dest, src_v))
+        return dest
+
+    def abs(self, src, name=""):
+        """Integer absolute value."""
+        src_v = self._coerce(src)
+        dest = self._temp(src_v.type, name)
+        self._emit(insts.unop(Opcode.ABS, dest, src_v))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Comparisons.
+    # ------------------------------------------------------------------
+    def _compare(self, opcode: Opcode, lhs, rhs, name=""):
+        lhs_v = self._coerce(lhs)
+        rhs_v = self._coerce(rhs, lhs_v.type)
+        dest = self._temp(I1, name)
+        self._emit(insts.binop(opcode, dest, lhs_v, rhs_v))
+        return dest
+
+    def cmp_eq(self, lhs, rhs, name=""):
+        """Integer equality comparison."""
+        return self._compare(Opcode.CMPEQ, lhs, rhs, name)
+
+    def cmp_ne(self, lhs, rhs, name=""):
+        """Integer inequality comparison."""
+        return self._compare(Opcode.CMPNE, lhs, rhs, name)
+
+    def cmp_lt(self, lhs, rhs, name=""):
+        """Signed less-than comparison."""
+        return self._compare(Opcode.CMPLT, lhs, rhs, name)
+
+    def cmp_le(self, lhs, rhs, name=""):
+        """Signed less-or-equal comparison."""
+        return self._compare(Opcode.CMPLE, lhs, rhs, name)
+
+    def cmp_gt(self, lhs, rhs, name=""):
+        """Signed greater-than comparison."""
+        return self._compare(Opcode.CMPGT, lhs, rhs, name)
+
+    def cmp_ge(self, lhs, rhs, name=""):
+        """Signed greater-or-equal comparison."""
+        return self._compare(Opcode.CMPGE, lhs, rhs, name)
+
+    def fcmp_lt(self, lhs, rhs, name=""):
+        """Floating-point less-than comparison."""
+        return self._compare(Opcode.FCMPLT, lhs, rhs, name)
+
+    # ------------------------------------------------------------------
+    # Conversions and moves.
+    # ------------------------------------------------------------------
+    def convert(self, opcode: Opcode, src, to_type: Type, name=""):
+        """Emit an explicit conversion instruction."""
+        src_v = self._coerce(src)
+        dest = self._temp(to_type, name)
+        self._emit(insts.unop(opcode, dest, src_v))
+        return dest
+
+    def sext(self, src, to_type: Type = I32, name=""):
+        """Sign-extend to ``to_type``."""
+        return self.convert(Opcode.SEXT, src, to_type, name)
+
+    def zext(self, src, to_type: Type = I32, name=""):
+        """Zero-extend to ``to_type``."""
+        return self.convert(Opcode.ZEXT, src, to_type, name)
+
+    def trunc(self, src, to_type: Type, name=""):
+        """Truncate to a narrower integer type."""
+        return self.convert(Opcode.TRUNC, src, to_type, name)
+
+    def itof(self, src, to_type: Type = F32, name=""):
+        """Convert integer to float."""
+        return self.convert(Opcode.ITOF, src, to_type, name)
+
+    def ftoi(self, src, to_type: Type = I32, name=""):
+        """Convert float to integer (truncating)."""
+        return self.convert(Opcode.FTOI, src, to_type, name)
+
+    def mov(self, src, name="", type_: Optional[Type] = None):
+        """Copy a value into a fresh register."""
+        src_v = self._coerce(src, type_)
+        dest = self._temp(type_ or src_v.type, name)
+        self._emit(insts.move(dest, src_v))
+        return dest
+
+    def mov_to(self, dest: VirtualRegister, src) -> None:
+        """Copy a value into an existing register (models a mutable local)."""
+        src_v = self._coerce(src, dest.type)
+        self._emit(insts.move(dest, src_v))
+
+    def select(self, cond, if_true, if_false, name=""):
+        """Conditional move: cond ? if_true : if_false."""
+        cond_v = self._coerce(cond)
+        t_v = self._coerce(if_true)
+        f_v = self._coerce(if_false, t_v.type)
+        dest = self._temp(t_v.type, name)
+        self._emit(insts.select(dest, cond_v, t_v, f_v))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Memory.
+    # ------------------------------------------------------------------
+    def alloca(self, type_: Type, count: int = 1, name=""):
+        """Reserve stack storage; returns the address register."""
+        dest = self._temp(PointerType(type_), name)
+        self._emit(insts.alloca(dest, type_, count))
+        return dest
+
+    def load(self, address: Operand, type_: Optional[Type] = None, name=""):
+        """Load a value of ``type_`` (or the pointee type) from ``address``."""
+        addr_v = self._coerce(address)
+        if type_ is None:
+            if isinstance(addr_v.type, PointerType) and addr_v.type.pointee is not None:
+                type_ = addr_v.type.pointee
+            else:
+                type_ = I32
+        dest = self._temp(type_, name)
+        self._emit(insts.load(dest, addr_v))
+        return dest
+
+    def store(self, value: Operand, address: Operand) -> None:
+        """Store ``value`` to ``address``."""
+        value_v = self._coerce(value)
+        addr_v = self._coerce(address)
+        self._emit(insts.store(value_v, addr_v))
+
+    def gep(self, base: Operand, index: Operand, element_type: Type, name=""):
+        """Compute ``base + index * sizeof(element_type)`` (pointer arithmetic)."""
+        base_v = self._coerce(base)
+        index_v = self._coerce(index)
+        scale = element_type.size
+        if isinstance(index_v, Constant):
+            offset: Value = Constant(index_v.value * scale, I32)
+        else:
+            offset = self._binary(Opcode.MUL, index_v, Constant(scale, I32), I32)
+        dest = self._temp(PointerType(element_type), name)
+        self._emit(insts.binop(Opcode.ADD, dest, base_v, self._coerce(offset)))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+    def jump(self, target: BasicBlock) -> None:
+        """Unconditional jump to ``target``."""
+        self._emit(insts.jump(target))
+
+    def branch(self, cond: Operand, if_true: BasicBlock, if_false: BasicBlock) -> None:
+        """Conditional branch."""
+        self._emit(insts.branch(self._coerce(cond), if_true, if_false))
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        """Return, optionally with a value."""
+        self._emit(insts.ret(self._coerce(value) if value is not None else None))
+
+    def call(self, callee: str, args: Sequence[Operand],
+             return_type: Type = VOID, name=""):
+        """Call ``callee``; returns the result register or None for void."""
+        arg_values = [self._coerce(a) for a in args]
+        dest = None if return_type.is_void() else self._temp(return_type, name)
+        self._emit(insts.call(dest, callee, arg_values))
+        return dest
+
+    def custom(self, name: str, args: Sequence[Operand],
+               return_type: Type = I32, result_name=""):
+        """Emit an application-specific custom operation."""
+        arg_values = [self._coerce(a) for a in args]
+        dest = None if return_type.is_void() else self._temp(return_type, result_name)
+        self._emit(insts.custom(dest, name, arg_values))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Constants.
+    # ------------------------------------------------------------------
+    def const(self, value, type_: Type = I32) -> Constant:
+        """Create an integer or float constant."""
+        return Constant(value, type_)

@@ -1,0 +1,165 @@
+"""Control-flow-graph analyses: reachability, dominators, loops, frequencies.
+
+These analyses feed three consumers:
+
+* the optimizer (dead block elimination, loop unrolling),
+* the ISE customizer (loop nesting depth drives static execution-frequency
+  estimates when no profile is available), and
+* the back end (block layout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from .block import BasicBlock
+from .function import Function
+
+
+def build_cfg(function: Function) -> nx.DiGraph:
+    """Return the control-flow graph of ``function`` as a networkx digraph.
+
+    Nodes are :class:`BasicBlock` objects; edges follow terminator targets.
+    """
+    graph = nx.DiGraph()
+    for block in function.blocks:
+        graph.add_node(block)
+    for block in function.blocks:
+        for succ in block.successors():
+            graph.add_edge(block, succ)
+    return graph
+
+
+def reachable_blocks(function: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    if not function.blocks:
+        return set()
+    graph = build_cfg(function)
+    entry = function.entry
+    return {entry} | set(nx.descendants(graph, entry))
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete unreachable blocks; return how many were removed."""
+    reachable = reachable_blocks(function)
+    dead = [b for b in function.blocks if b not in reachable]
+    for block in dead:
+        function.remove_block(block)
+    return len(dead)
+
+
+def compute_dominators(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Return, for each reachable block, the set of blocks dominating it."""
+    graph = build_cfg(function)
+    entry = function.entry
+    idom = dict(nx.immediate_dominators(graph, entry))
+    # Some networkx versions omit the self-entry; normalise it.
+    idom[entry] = entry
+    doms: Dict[BasicBlock, Set[BasicBlock]] = {}
+    for block in graph.nodes:
+        if block not in idom:
+            continue
+        dominators = {block}
+        runner = block
+        while idom[runner] is not runner:
+            runner = idom[runner]
+            dominators.add(runner)
+        doms[block] = dominators
+    return doms
+
+
+def find_natural_loops(function: Function) -> List[Tuple[BasicBlock, Set[BasicBlock]]]:
+    """Find natural loops via back-edge detection.
+
+    Returns a list of ``(header, body_blocks)`` tuples where ``body_blocks``
+    includes the header.
+    """
+    doms = compute_dominators(function)
+    graph = build_cfg(function)
+    loops: List[Tuple[BasicBlock, Set[BasicBlock]]] = []
+    for tail, header in graph.edges:
+        if header in doms.get(tail, set()):
+            # Back edge tail -> header: collect the natural loop body.
+            body = {header, tail}
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node is header:
+                    continue
+                for pred in graph.predecessors(node):
+                    if pred not in body:
+                        body.add(pred)
+                        stack.append(pred)
+            loops.append((header, body))
+    return loops
+
+
+def loop_nesting_depth(function: Function) -> Dict[BasicBlock, int]:
+    """Number of natural loops each block belongs to."""
+    depth = {block: 0 for block in function.blocks}
+    for _header, body in find_natural_loops(function):
+        for block in body:
+            depth[block] = depth.get(block, 0) + 1
+    return depth
+
+
+def estimate_block_frequencies(function: Function, loop_weight: float = 10.0) -> None:
+    """Set ``block.frequency`` from static loop-nesting heuristics.
+
+    A block nested ``d`` loops deep is assumed to execute ``loop_weight**d``
+    times per function invocation; this mirrors the classic static profile
+    estimate used when no measured profile is available.  Measured profiles
+    (from the functional simulator) overwrite these estimates.
+    """
+    depth = loop_nesting_depth(function)
+    for block in function.blocks:
+        block.frequency = float(loop_weight ** depth.get(block, 0))
+
+
+def topological_block_order(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse-post-order (a good scheduling / layout order)."""
+    graph = build_cfg(function)
+    entry = function.entry
+    order: List[BasicBlock] = []
+    visited: Set[BasicBlock] = set()
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(sorted(graph.successors(block), key=lambda b: b.name)))]
+        visited.add(block)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(
+                        (succ, iter(sorted(graph.successors(succ), key=lambda b: b.name)))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    visit(entry)
+    order.reverse()
+    # Unreachable blocks go at the end in their original order.
+    for block in function.blocks:
+        if block not in visited:
+            order.append(block)
+    return order
+
+
+def critical_edges(function: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """Edges from a block with >1 successors to a block with >1 predecessors."""
+    result = []
+    for block in function.blocks:
+        succs = block.successors()
+        if len(succs) <= 1:
+            continue
+        for succ in succs:
+            if len(succ.predecessors()) > 1:
+                result.append((block, succ))
+    return result

@@ -1,0 +1,238 @@
+"""Per-basic-block dataflow graphs (DFGs).
+
+The DFG is the central data structure of the ISA-customization engine
+(:mod:`repro.core`): instruction-set-extension candidates are convex
+subgraphs of these graphs.  It is also used by the VLIW list scheduler,
+which schedules the same graph against the machine's resource tables.
+
+Nodes of the DFG are :class:`Instruction` objects of one basic block.
+Edges are:
+
+* true (flow) dependences through virtual registers,
+* memory dependences (conservative: every pair of memory operations where
+  at least one is a store is ordered, as is every call), and
+* anti/output dependences through registers (needed because the IR is not
+  in SSA form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from .block import BasicBlock
+from .instructions import Instruction, Opcode
+from .values import Value, VirtualRegister
+
+
+@dataclass
+class DataflowGraph:
+    """The dependence graph of one basic block."""
+
+    block: BasicBlock
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @property
+    def nodes(self) -> List[Instruction]:
+        return list(self.graph.nodes)
+
+    def predecessors(self, inst: Instruction) -> List[Instruction]:
+        return list(self.graph.predecessors(inst))
+
+    def successors(self, inst: Instruction) -> List[Instruction]:
+        return list(self.graph.successors(inst))
+
+    def flow_edges(self) -> List[tuple]:
+        """Only the true (register flow) dependence edges."""
+        return [
+            (u, v) for u, v, kind in self.graph.edges(data="kind") if kind == "flow"
+        ]
+
+    def is_convex(self, subset: Set[Instruction]) -> bool:
+        """True if no path leaves ``subset`` and re-enters it.
+
+        Convexity is the feasibility condition for collapsing a subgraph
+        into a single custom operation: if a path escapes and returns, the
+        fused operation would need its own result before it finished.
+        """
+        if not subset:
+            return True
+        outside_reachable: Set[Instruction] = set()
+        # For every edge subset -> outside, find what is reachable from the
+        # outside node; if any subset node is reachable, the cut is not convex.
+        for node in subset:
+            for succ in self.graph.successors(node):
+                if succ not in subset:
+                    outside_reachable.add(succ)
+        seen: Set[Instruction] = set()
+        stack = list(outside_reachable)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in subset:
+                return False
+            stack.extend(self.graph.successors(node))
+        return True
+
+    def subgraph_inputs(self, subset: Set[Instruction]) -> List[Value]:
+        """Distinct values consumed by ``subset`` but produced outside it."""
+        produced = {inst.dest for inst in subset if inst.dest is not None}
+        inputs: List[Value] = []
+        seen = set()
+        for inst in subset:
+            for op in inst.operands:
+                if isinstance(op, VirtualRegister) and op in produced:
+                    continue
+                key = op.id if isinstance(op, VirtualRegister) else (str(op), str(op.type))
+                if key not in seen:
+                    seen.add(key)
+                    inputs.append(op)
+        return inputs
+
+    def subgraph_outputs(self, subset: Set[Instruction]) -> List[VirtualRegister]:
+        """Registers produced in ``subset`` that are used outside it (or live out)."""
+        produced = {inst.dest: inst for inst in subset if inst.dest is not None}
+        used_inside: Dict[VirtualRegister, int] = {}
+        for inst in subset:
+            for op in inst.uses():
+                used_inside[op] = used_inside.get(op, 0) + 1
+
+        outputs: List[VirtualRegister] = []
+        live_out = self._live_out_registers()
+        for reg, inst in produced.items():
+            external_use = False
+            for other in self.block.instructions:
+                if other in subset:
+                    continue
+                if reg in other.uses():
+                    external_use = True
+                    break
+            if external_use or reg in live_out:
+                outputs.append(reg)
+        return outputs
+
+    def _live_out_registers(self) -> Set[VirtualRegister]:
+        """Registers defined in this block and possibly read by other blocks."""
+        defined = {
+            inst.dest for inst in self.block.instructions if inst.dest is not None
+        }
+        function = self.block.function
+        if function is None:
+            return set()
+        live: Set[VirtualRegister] = set()
+        for block in function.blocks:
+            if block is self.block:
+                continue
+            for inst in block.instructions:
+                for reg in inst.uses():
+                    if reg in defined:
+                        live.add(reg)
+        # A register used by this block's own terminator also counts.
+        term = self.block.terminator
+        if term is not None:
+            for reg in term.uses():
+                if reg in defined:
+                    live.add(reg)
+        return live
+
+    def critical_path_length(self, latency_of) -> int:
+        """Length (in cycles) of the longest dependence chain.
+
+        ``latency_of`` maps an :class:`Instruction` to its latency in cycles.
+        """
+        order = list(nx.topological_sort(self.graph))
+        finish: Dict[Instruction, int] = {}
+        longest = 0
+        for inst in order:
+            start = 0
+            for pred in self.graph.predecessors(inst):
+                start = max(start, finish[pred])
+            finish[inst] = start + latency_of(inst)
+            longest = max(longest, finish[inst])
+        return longest
+
+
+def build_dataflow_graph(block: BasicBlock,
+                         include_terminator: bool = False) -> DataflowGraph:
+    """Construct the dependence graph of ``block``.
+
+    ``include_terminator`` controls whether the block terminator appears in
+    the graph (the scheduler wants it; the ISE enumerator does not).
+    """
+    dfg = DataflowGraph(block)
+    graph = dfg.graph
+
+    instructions = (
+        list(block.instructions) if include_terminator
+        else block.non_terminator_instructions()
+    )
+
+    last_def: Dict[int, Instruction] = {}
+    uses_since_def: Dict[int, List[Instruction]] = {}
+    last_store: Optional[Instruction] = None
+    loads_since_store: List[Instruction] = []
+    last_barrier: Optional[Instruction] = None
+
+    for inst in instructions:
+        graph.add_node(inst)
+
+        # True dependences (register flow).
+        for reg in inst.uses():
+            producer = last_def.get(reg.id)
+            if producer is not None and producer is not inst:
+                graph.add_edge(producer, inst, kind="flow", reg=reg)
+            uses_since_def.setdefault(reg.id, []).append(inst)
+
+        # Anti dependences (write-after-read) and output dependences
+        # (write-after-write) — required because the IR is not SSA.
+        if inst.dest is not None:
+            reg_id = inst.dest.id
+            for reader in uses_since_def.get(reg_id, []):
+                if reader is not inst and not graph.has_edge(reader, inst):
+                    graph.add_edge(reader, inst, kind="anti")
+            prev = last_def.get(reg_id)
+            if prev is not None and prev is not inst and not graph.has_edge(prev, inst):
+                graph.add_edge(prev, inst, kind="output")
+            last_def[reg_id] = inst
+            uses_since_def[reg_id] = []
+
+        # Memory dependences: conservative store ordering.
+        if inst.opcode is Opcode.LOAD:
+            if last_store is not None:
+                graph.add_edge(last_store, inst, kind="memory")
+            loads_since_store.append(inst)
+        elif inst.opcode is Opcode.STORE:
+            if last_store is not None:
+                graph.add_edge(last_store, inst, kind="memory")
+            for load_inst in loads_since_store:
+                graph.add_edge(load_inst, inst, kind="memory")
+            last_store = inst
+            loads_since_store = []
+
+        # Calls are full barriers (memory + ordering).
+        if inst.opcode is Opcode.CALL:
+            if last_barrier is not None:
+                graph.add_edge(last_barrier, inst, kind="barrier")
+            if last_store is not None:
+                graph.add_edge(last_store, inst, kind="memory")
+            for load_inst in loads_since_store:
+                graph.add_edge(load_inst, inst, kind="memory")
+            last_store = inst
+            loads_since_store = []
+            last_barrier = inst
+
+        # The terminator depends on everything with a side effect so it
+        # schedules last.
+        if inst.is_terminator():
+            for other in instructions:
+                if other is inst:
+                    continue
+                if other.has_side_effects() or other.opcode in (Opcode.CALL, Opcode.STORE):
+                    if not graph.has_edge(other, inst):
+                        graph.add_edge(other, inst, kind="order")
+
+    return dfg

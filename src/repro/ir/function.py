@@ -1,0 +1,125 @@
+"""Functions: ordered collections of basic blocks with a signature."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .block import BasicBlock
+from .instructions import Instruction, Opcode
+from .types import FunctionType, Type, VOID
+from .values import Argument, VirtualRegister
+
+
+class Function:
+    """A single IR function.
+
+    The first block in ``blocks`` is the entry block.  Functions own their
+    argument values and provide helpers for whole-function iteration that
+    the optimizer, the back end and the customizer all rely on.
+    """
+
+    def __init__(self, name: str, return_type: Type = VOID,
+                 param_types: Optional[List[Type]] = None,
+                 param_names: Optional[List[str]] = None) -> None:
+        self.name = name
+        param_types = list(param_types or [])
+        param_names = list(param_names or [])
+        while len(param_names) < len(param_types):
+            param_names.append(f"p{len(param_names)}")
+        self.type = FunctionType(return_type, tuple(param_types))
+        self.arguments: List[Argument] = [
+            Argument(t, n, i) for i, (t, n) in enumerate(zip(param_types, param_names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self.module = None
+        self._block_names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Block management.
+    # ------------------------------------------------------------------
+    @property
+    def return_type(self) -> Type:
+        return self.type.return_type
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry basic block."""
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create, register and return a new uniquely-named basic block."""
+        count = self._block_names.get(hint, 0)
+        self._block_names[hint] = count + 1
+        name = hint if count == 0 else f"{hint}.{count}"
+        block = BasicBlock(name)
+        block.function = self
+        self.blocks.append(block)
+        return block
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Register an externally created block."""
+        block.function = self
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        """Remove a (presumed unreachable) block."""
+        self.blocks.remove(block)
+        block.function = None
+
+    def get_block(self, name: str) -> BasicBlock:
+        """Look a block up by name."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named {name} in {self.name}")
+
+    # ------------------------------------------------------------------
+    # Iteration helpers.
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def defined_registers(self) -> List[VirtualRegister]:
+        """Every virtual register defined anywhere in the function."""
+        regs = []
+        seen = set()
+        for arg in self.arguments:
+            if arg.id not in seen:
+                seen.add(arg.id)
+                regs.append(arg)
+        for inst in self.instructions():
+            if inst.dest is not None and inst.dest.id not in seen:
+                seen.add(inst.dest.id)
+                regs.append(inst.dest)
+        return regs
+
+    def instruction_count(self) -> int:
+        """Total static instruction count."""
+        return sum(len(b) for b in self.blocks)
+
+    def call_targets(self) -> List[str]:
+        """Names of functions called (statically) from this function."""
+        targets = []
+        for inst in self.instructions():
+            if inst.opcode is Opcode.CALL and inst.callee not in targets:
+                targets.append(inst.callee)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Printing.
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        params = ", ".join(f"{a.type} {a}" for a in self.arguments)
+        lines = [f"function {self.return_type} @{self.name}({params}) {{"]
+        for block in self.blocks:
+            lines.append(str(block))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"

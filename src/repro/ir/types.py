@@ -1,0 +1,188 @@
+"""Type system for the repro intermediate representation.
+
+The IR is deliberately small: it models the scalar types that matter for
+embedded kernels (integers of a few widths, single-precision floats,
+byte-addressed pointers) plus array types for globals and stack frames.
+Every type knows its size and alignment so that the front end, the code
+generator and the simulators agree on memory layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for all IR types."""
+
+    #: size of a value of this type in bytes (0 for void/label).
+    size: int = 0
+
+    @property
+    def alignment(self) -> int:
+        """Natural alignment in bytes (size, but at least 1)."""
+        return max(1, self.size)
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_scalar(self) -> bool:
+        return self.is_integer() or self.is_float() or self.is_pointer()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    size: int = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """A two's-complement integer of ``bits`` width.
+
+    ``signed`` only affects the semantics of comparisons, division and
+    right shifts; storage is identical.
+    """
+
+    bits: int = 32
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.bits}")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return max(1, self.bits // 8)
+
+    @property
+    def min_value(self) -> int:
+        if not self.signed:
+            return 0
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        if not self.signed:
+            return (1 << self.bits) - 1
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to this type's range (two's complement)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.signed and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+    def __str__(self) -> str:
+        prefix = "i" if self.signed else "u"
+        return f"{prefix}{self.bits}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """An IEEE-754 binary32 floating point value."""
+
+    bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {self.bits}")
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A byte address.  Pointers are 32 bits wide on every target machine."""
+
+    pointee: Type = None  # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return 4
+
+    def __str__(self) -> str:
+        if self.pointee is None:
+            return "ptr"
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A fixed-length array, used for globals and stack allocations."""
+
+    element: Type = None  # type: ignore[assignment]
+    count: int = 0
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.element.size * self.count
+
+    @property
+    def alignment(self) -> int:
+        return self.element.alignment
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """Signature of a function: return type plus parameter types."""
+
+    return_type: Type = None  # type: ignore[assignment]
+    param_types: tuple = ()
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        return f"{self.return_type} ({params})"
+
+
+# Canonical singletons used throughout the code base.
+VOID = VoidType()
+I1 = IntType(1, signed=False)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+U8 = IntType(8, signed=False)
+U16 = IntType(16, signed=False)
+U32 = IntType(32, signed=False)
+F32 = FloatType(32)
+F64 = FloatType(64)
+PTR = PointerType(I32)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Return a pointer type to ``pointee``."""
+    return PointerType(pointee)
+
+
+def array_of(element: Type, count: int) -> ArrayType:
+    """Return a fixed-size array type."""
+    if count < 0:
+        raise ValueError("array length must be non-negative")
+    return ArrayType(element, count)

@@ -1,0 +1,14 @@
+"""Machine-independent optimizations for the repro IR."""
+
+from .passes import (
+    algebraic_simplify, constant_fold, copy_propagate, dead_code_elimination,
+    if_convert, inline_small_functions, local_cse, simplify_cfg, unroll_loops,
+)
+from .pipeline import PassManager, PassStatistics, optimize
+
+__all__ = [
+    "algebraic_simplify", "constant_fold", "copy_propagate",
+    "dead_code_elimination", "if_convert", "inline_small_functions",
+    "local_cse", "simplify_cfg", "unroll_loops",
+    "PassManager", "PassStatistics", "optimize",
+]

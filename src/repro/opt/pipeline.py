@@ -1,0 +1,106 @@
+"""The optimization pipeline and pass manager.
+
+The pass manager runs each pass, optionally re-verifying the IR after
+every pass (the default in tests), and iterates the cheap cleanup passes
+to a fixed point.  Optimization levels follow the usual convention:
+
+* ``O0`` — verification only,
+* ``O1`` — local cleanups (copy propagation, folding, CSE, DCE, CFG
+  simplification),
+* ``O2`` — O1 plus inlining and if-conversion,
+* ``O3`` — O2 plus loop unrolling (the ILP-exposing configuration the
+  VLIW experiments use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..ir import Function, Module, assert_valid
+from . import passes
+
+
+@dataclass
+class PassStatistics:
+    """Per-pass change counts accumulated over a pipeline run."""
+
+    changes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, count: int) -> None:
+        self.changes[name] = self.changes.get(name, 0) + count
+
+    def total(self) -> int:
+        return sum(self.changes.values())
+
+
+class PassManager:
+    """Runs function- and module-level passes with optional verification."""
+
+    def __init__(self, verify: bool = True) -> None:
+        self.verify = verify
+        self.stats = PassStatistics()
+
+    def run_function_pass(self, name: str, pass_fn: Callable[[Function], int],
+                          module: Module) -> int:
+        total = 0
+        for function in module.functions.values():
+            total += pass_fn(function)
+        self.stats.record(name, total)
+        if self.verify:
+            assert_valid(module)
+        return total
+
+    def run_module_pass(self, name: str, pass_fn: Callable[[Module], int],
+                        module: Module) -> int:
+        count = pass_fn(module)
+        self.stats.record(name, count)
+        if self.verify:
+            assert_valid(module)
+        return count
+
+
+def _cleanup_to_fixpoint(manager: PassManager, module: Module,
+                         max_iterations: int = 10) -> None:
+    for _ in range(max_iterations):
+        changed = 0
+        changed += manager.run_function_pass("copy_propagate", passes.copy_propagate, module)
+        changed += manager.run_function_pass("constant_fold", passes.constant_fold, module)
+        changed += manager.run_function_pass("algebraic_simplify", passes.algebraic_simplify, module)
+        changed += manager.run_function_pass("local_cse", passes.local_cse, module)
+        changed += manager.run_function_pass("dead_code_elimination", passes.dead_code_elimination, module)
+        changed += manager.run_function_pass("simplify_cfg", passes.simplify_cfg, module)
+        if changed == 0:
+            break
+
+
+def optimize(module: Module, level: int = 2, *, unroll_factor: int = 4,
+             verify: bool = True) -> PassStatistics:
+    """Run the standard optimization pipeline on ``module`` in place."""
+    manager = PassManager(verify=verify)
+    if level <= 0:
+        if verify:
+            assert_valid(module)
+        return manager.stats
+
+    _cleanup_to_fixpoint(manager, module)
+
+    if level >= 2:
+        manager.run_module_pass(
+            "inline_small_functions", passes.inline_small_functions, module
+        )
+        _cleanup_to_fixpoint(manager, module)
+        manager.run_function_pass("if_convert", passes.if_convert, module)
+        _cleanup_to_fixpoint(manager, module)
+
+    if level >= 3 and unroll_factor >= 2:
+        def unroll(function: Function) -> int:
+            return passes.unroll_loops(function, factor=unroll_factor)
+
+        # Repeated invocations unroll one loop at a time.
+        for _ in range(8):
+            if manager.run_function_pass("unroll_loops", unroll, module) == 0:
+                break
+        _cleanup_to_fixpoint(manager, module)
+
+    return manager.stats

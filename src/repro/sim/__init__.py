@@ -1,0 +1,13 @@
+"""Simulators: functional reference execution and cycle-level VLIW timing."""
+
+from .memory import Memory, MemoryError_, ProgramImage
+from .cache import Cache, CacheStatistics, make_cache
+from .functional import ExecutionProfile, FunctionalSimulator, SimulationError
+from .cycle import CycleSimulator, CycleStatistics, SimulationResult, simulate
+
+__all__ = [
+    "Memory", "MemoryError_", "ProgramImage",
+    "Cache", "CacheStatistics", "make_cache",
+    "ExecutionProfile", "FunctionalSimulator", "SimulationError",
+    "CycleSimulator", "CycleStatistics", "SimulationResult", "simulate",
+]

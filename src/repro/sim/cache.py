@@ -1,0 +1,66 @@
+"""Set-associative cache model with LRU replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..arch.machine import CacheConfig
+
+
+@dataclass
+class CacheStatistics:
+    """Access counts for one cache instance."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """A single-level, blocking, set-associative cache with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.line_bits = (config.line_bytes - 1).bit_length()
+        # sets[i] is an ordered list of tags, most recently used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStatistics()
+
+    def access(self, address: int) -> int:
+        """Access ``address``; returns the added latency in cycles."""
+        self.stats.accesses += 1
+        line = address >> self.line_bits
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return self.config.hit_latency
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.associativity:
+            ways.pop(0)
+        return self.config.hit_latency + self.config.miss_penalty
+
+    def reset_statistics(self) -> None:
+        self.stats = CacheStatistics()
+
+
+def make_cache(config: Optional[CacheConfig]) -> Optional[Cache]:
+    """Instantiate a cache, or None when the machine does not model one."""
+    if config is None:
+        return None
+    return Cache(config)

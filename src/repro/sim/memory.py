@@ -1,0 +1,115 @@
+"""Byte-addressed simulated memory shared by the functional and cycle simulators."""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence
+
+from ..ir import ArrayType, FloatType, IntType, Module, PointerType, Type
+
+
+class MemoryError_(Exception):
+    """Raised for out-of-range or misaligned simulated memory accesses."""
+
+
+class Memory:
+    """A flat little-endian byte-addressed memory.
+
+    Address zero is intentionally left unmapped (a 64-byte guard region) so
+    that null-pointer dereferences in kernel code fail loudly instead of
+    silently reading zeros.
+    """
+
+    GUARD = 64
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self.size = size
+        self.data = bytearray(size)
+        self._next_free = self.GUARD
+
+    # ------------------------------------------------------------------
+    # Allocation.
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int, alignment: int = 4) -> int:
+        """Bump-allocate ``nbytes`` with the requested alignment."""
+        if nbytes < 0:
+            raise MemoryError_("cannot allocate a negative size")
+        address = (self._next_free + alignment - 1) // alignment * alignment
+        if address + nbytes > self.size:
+            raise MemoryError_(
+                f"out of simulated memory: need {nbytes} bytes at {address}"
+            )
+        self._next_free = address + nbytes
+        return address
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next_free - self.GUARD
+
+    # ------------------------------------------------------------------
+    # Scalar access.
+    # ------------------------------------------------------------------
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < self.GUARD or address + nbytes > self.size:
+            raise MemoryError_(f"access of {nbytes} bytes at {address} is out of range")
+
+    def load(self, address: int, type_: Type) -> int | float:
+        """Load a scalar of ``type_`` from ``address``."""
+        nbytes = max(1, type_.size)
+        self._check(address, nbytes)
+        raw = bytes(self.data[address:address + nbytes])
+        if isinstance(type_, FloatType):
+            return struct.unpack("<f" if type_.bits == 32 else "<d", raw)[0]
+        value = int.from_bytes(raw, "little", signed=False)
+        if isinstance(type_, IntType):
+            return type_.wrap(value)
+        return value  # pointers behave as unsigned 32-bit
+
+    def store(self, address: int, value: int | float, type_: Type) -> None:
+        """Store a scalar of ``type_`` to ``address``."""
+        nbytes = max(1, type_.size)
+        self._check(address, nbytes)
+        if isinstance(type_, FloatType):
+            raw = struct.pack("<f" if type_.bits == 32 else "<d", float(value))
+        else:
+            width_bits = 8 * nbytes
+            masked = int(value) & ((1 << width_bits) - 1)
+            raw = masked.to_bytes(nbytes, "little", signed=False)
+        self.data[address:address + nbytes] = raw
+
+    # ------------------------------------------------------------------
+    # Bulk access (arrays).
+    # ------------------------------------------------------------------
+    def write_array(self, address: int, values: Sequence, element: Type) -> None:
+        for i, value in enumerate(values):
+            self.store(address + i * element.size, value, element)
+
+    def read_array(self, address: int, count: int, element: Type) -> List:
+        return [self.load(address + i * element.size, element) for i in range(count)]
+
+
+class ProgramImage:
+    """A module loaded into memory: global addresses plus the memory itself."""
+
+    def __init__(self, module: Module, memory: Optional[Memory] = None) -> None:
+        self.module = module
+        self.memory = memory or Memory()
+        self.global_addresses: Dict[str, int] = {}
+        self._load_globals()
+
+    def _load_globals(self) -> None:
+        for name, gvar in self.module.globals.items():
+            vtype = gvar.value_type
+            if isinstance(vtype, ArrayType):
+                address = self.memory.allocate(max(4, vtype.size), vtype.alignment)
+                if gvar.initializer:
+                    self.memory.write_array(address, gvar.initializer, vtype.element)
+            else:
+                address = self.memory.allocate(max(4, vtype.size), vtype.alignment)
+                if gvar.initializer is not None:
+                    self.memory.store(address, gvar.initializer, vtype)
+            gvar.address = address
+            self.global_addresses[name] = address
+
+    def address_of(self, name: str) -> int:
+        return self.global_addresses[name]

@@ -1,0 +1,6 @@
+"""Mass-customized toolchain: the one-call facade and the N×M test matrix."""
+
+from .driver import BuildArtifacts, Toolchain
+from .matrix import MatrixCell, MatrixReport, run_matrix
+
+__all__ = ["BuildArtifacts", "Toolchain", "MatrixCell", "MatrixReport", "run_matrix"]

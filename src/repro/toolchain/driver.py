@@ -1,0 +1,150 @@
+"""The mass-customized toolchain facade.
+
+:class:`Toolchain` is the one object a product team interacts with: it is
+constructed from an architecture description table, and from then on
+"software development is relative to the toolchain, not the hardware"
+(§3.1) — the same ``compile``/``run``/``customize`` calls work for every
+member of the architecture family, and deriving a new family member is a
+table edit, not a new toolchain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.area import AreaReport, estimate_area
+from ..arch.encoding import CodeSizeReport
+from ..arch.machine import MachineDescription
+from ..backend.codegen import CompileReport, compile_module
+from ..backend.mcode import CompiledModule
+from ..backend.asm import BinaryImage, encode_module, render_assembly
+from ..core.customizer import CustomizationResult, IsaCustomizer
+from ..core.identification import EnumerationConfig
+from ..core.library import ExtensionLibrary, global_extension_library
+from ..core.selection import SelectionConfig
+from ..frontend import compile_c
+from ..ir import Module
+from ..opt import optimize
+from ..sim.cycle import CycleSimulator, SimulationResult
+from ..sim.functional import FunctionalSimulator
+
+
+@dataclass
+class BuildArtifacts:
+    """Everything produced by one compile-for-machine invocation."""
+
+    module: Module
+    compiled: CompiledModule
+    report: CompileReport
+    machine: MachineDescription
+
+    @property
+    def assembly(self) -> str:
+        return render_assembly(self.compiled)
+
+    @property
+    def binary(self) -> BinaryImage:
+        return encode_module(self.compiled)
+
+    @property
+    def area(self) -> AreaReport:
+        return estimate_area(self.machine)
+
+    @property
+    def code_size(self) -> Optional[CodeSizeReport]:
+        return self.report.code
+
+
+class Toolchain:
+    """A complete compiler + simulator stack for one machine description."""
+
+    def __init__(self, machine: MachineDescription, opt_level: int = 2,
+                 unroll_factor: int = 4,
+                 library: Optional[ExtensionLibrary] = None) -> None:
+        self.machine = machine
+        self.opt_level = opt_level
+        self.unroll_factor = unroll_factor
+        self.library = library if library is not None else global_extension_library()
+
+    # ------------------------------------------------------------------
+    # Front end + optimizer.
+    # ------------------------------------------------------------------
+    def frontend(self, source: str, name: str = "module") -> Module:
+        """Compile C source to optimized IR (no machine dependence yet)."""
+        module = compile_c(source, module_name=name)
+        optimize(module, level=self.opt_level, unroll_factor=self.unroll_factor)
+        return module
+
+    # ------------------------------------------------------------------
+    # Machine-dependent back end.
+    # ------------------------------------------------------------------
+    def build(self, module_or_source, name: str = "module") -> BuildArtifacts:
+        """Compile IR (or C source) for this toolchain's machine."""
+        if isinstance(module_or_source, str):
+            module = self.frontend(module_or_source, name)
+        else:
+            module = module_or_source
+        compiled, report = compile_module(module, self.machine)
+        return BuildArtifacts(module=module, compiled=compiled, report=report,
+                              machine=self.machine)
+
+    # ------------------------------------------------------------------
+    # Simulation.
+    # ------------------------------------------------------------------
+    def run(self, artifacts: BuildArtifacts, entry: str, *args) -> SimulationResult:
+        """Cycle-accurately simulate a built program."""
+        simulator = CycleSimulator(artifacts.compiled)
+        return simulator.run(entry, *args)
+
+    def run_reference(self, module: Module, entry: str, *args):
+        """Run the functional reference simulator (machine independent)."""
+        simulator = FunctionalSimulator(module.clone())
+        return simulator.run(entry, *args)
+
+    def compile_and_run(self, source: str, entry: str, *args,
+                        name: str = "module") -> Tuple[BuildArtifacts, SimulationResult]:
+        """One call from C source to cycle-level results."""
+        artifacts = self.build(source, name)
+        return artifacts, self.run(artifacts, entry, *args)
+
+    # ------------------------------------------------------------------
+    # Customization.
+    # ------------------------------------------------------------------
+    def customize(self, module: Module, *, area_budget_kgates: float = 40.0,
+                  max_operations: int = 8, name: Optional[str] = None,
+                  profile_entry: Optional[str] = None,
+                  profile_args: Tuple = ()) -> "Toolchain":
+        """Derive a new toolchain whose machine is customized for ``module``.
+
+        The module is rewritten in place to use the new operations; the
+        returned toolchain targets the extended family member and shares
+        this toolchain's extension library.
+        """
+        customizer = IsaCustomizer(
+            self.machine,
+            enumeration=EnumerationConfig(max_outputs=1),
+            selection_config=SelectionConfig(
+                area_budget_kgates=area_budget_kgates,
+                max_operations=max_operations,
+            ),
+            library=self.library,
+        )
+        result = customizer.customize(module, name=name,
+                                      profile_entry=profile_entry,
+                                      profile_args=profile_args)
+        derived = Toolchain(result.machine, opt_level=self.opt_level,
+                            unroll_factor=self.unroll_factor, library=self.library)
+        derived.last_customization = result  # type: ignore[attr-defined]
+        return derived
+
+    # ------------------------------------------------------------------
+    # Retargeting.
+    # ------------------------------------------------------------------
+    def retarget(self, machine: MachineDescription) -> "Toolchain":
+        """The same toolchain pointed at a different family member."""
+        return Toolchain(machine, opt_level=self.opt_level,
+                         unroll_factor=self.unroll_factor, library=self.library)
+
+    def describe(self) -> str:
+        return f"Toolchain for {self.machine.describe()} (O{self.opt_level})"

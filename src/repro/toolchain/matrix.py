@@ -1,0 +1,139 @@
+"""The N×M validation matrix (architectures × programs).
+
+Section 3.1 item 2: "Testing methodology uses architectures as if they
+were test programs (thus NxM tests)".  Every kernel is compiled for every
+machine in the list, run on the cycle simulator, and checked against both
+the kernel's pure-Python oracle and the machine-independent functional
+simulation.  The matrix is simultaneously the toolchain's regression
+suite and the raw data for experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..arch.machine import MachineDescription
+from ..backend.codegen import compile_module
+from ..opt import optimize
+from ..sim.cycle import CycleSimulator
+from ..sim.functional import FunctionalSimulator
+from ..workloads.kernels import KERNELS, Kernel, get_kernel
+from ..workloads.suite import compile_kernel
+
+
+@dataclass
+class MatrixCell:
+    """The result of one (machine, kernel) combination."""
+
+    machine: str
+    kernel: str
+    correct: bool
+    cycles: int = 0
+    operations: int = 0
+    ipc: float = 0.0
+    code_bytes: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class MatrixReport:
+    """All cells of one N×M run plus summary helpers."""
+
+    cells: List[MatrixCell] = field(default_factory=list)
+
+    def cell(self, machine: str, kernel: str) -> MatrixCell:
+        for cell in self.cells:
+            if cell.machine == machine and cell.kernel == kernel:
+                return cell
+        raise KeyError(f"no cell for ({machine}, {kernel})")
+
+    @property
+    def machines(self) -> List[str]:
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.machine not in seen:
+                seen.append(cell.machine)
+        return seen
+
+    @property
+    def kernels(self) -> List[str]:
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.kernel not in seen:
+                seen.append(cell.kernel)
+        return seen
+
+    @property
+    def all_correct(self) -> bool:
+        return all(cell.correct for cell in self.cells)
+
+    @property
+    def failures(self) -> List[MatrixCell]:
+        return [cell for cell in self.cells if not cell.correct]
+
+    def pass_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(cell.correct for cell in self.cells) / len(self.cells)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for printing as the E5 table."""
+        return [
+            {
+                "machine": cell.machine,
+                "kernel": cell.kernel,
+                "ok": "pass" if cell.correct else "FAIL",
+                "cycles": cell.cycles,
+                "ipc": round(cell.ipc, 2),
+                "code_bytes": cell.code_bytes,
+            }
+            for cell in self.cells
+        ]
+
+
+def run_matrix(machines: Sequence[MachineDescription],
+               kernel_names: Optional[Iterable[str]] = None,
+               size: Optional[int] = None,
+               opt_level: int = 2,
+               seed: int = 1234) -> MatrixReport:
+    """Compile and validate every kernel on every machine."""
+    names = sorted(kernel_names) if kernel_names is not None else sorted(KERNELS)
+    report = MatrixReport()
+
+    for machine in machines:
+        for name in names:
+            kernel = get_kernel(name)
+            args = kernel.arguments(size, seed=seed)
+            expected = kernel.expected(args)
+            cell = MatrixCell(machine=machine.name, kernel=name, correct=False)
+            try:
+                module = compile_kernel(name)
+                optimize(module, level=opt_level)
+
+                # Cross-check 1: functional simulation vs. the Python oracle.
+                reference = FunctionalSimulator(module.clone())
+                ref_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+                ref_value = reference.run(kernel.entry, *ref_args)
+
+                # Cross-check 2: scheduled code on the cycle simulator.
+                compiled, compile_report = compile_module(module, machine)
+                simulator = CycleSimulator(compiled)
+                run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+                result = simulator.run(kernel.entry, *run_args)
+
+                cell.cycles = result.cycles
+                cell.operations = result.stats.operations_executed
+                cell.ipc = result.stats.ipc
+                if compile_report.code is not None:
+                    cell.code_bytes = compile_report.code.bytes_effective
+                cell.correct = (result.value == expected and ref_value == expected)
+                if not cell.correct:
+                    cell.error = (
+                        f"expected {expected}, functional {ref_value}, "
+                        f"cycle-level {result.value}"
+                    )
+            except Exception as exc:  # noqa: BLE001 - matrix reports, never raises
+                cell.error = f"{type(exc).__name__}: {exc}"
+            report.cells.append(cell)
+    return report

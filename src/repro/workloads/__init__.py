@@ -1,0 +1,9 @@
+"""Embedded workload kernels and product-style workload mixes."""
+
+from .kernels import DOMAINS, KERNELS, Kernel, get_kernel
+from .suite import MIXES, WorkloadMix, compile_kernel, compile_suite, get_mix
+
+__all__ = [
+    "DOMAINS", "KERNELS", "Kernel", "get_kernel",
+    "MIXES", "WorkloadMix", "compile_kernel", "compile_suite", "get_mix",
+]

@@ -1,0 +1,71 @@
+"""Helpers for compiling and running the kernel suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..frontend import compile_c
+from ..ir import Module
+from .kernels import DOMAINS, KERNELS, Kernel, get_kernel
+
+
+def compile_kernel(name: str) -> Module:
+    """Compile one kernel's C source to an IR module named after it."""
+    kernel = get_kernel(name)
+    return compile_c(kernel.source, module_name=kernel.name)
+
+
+def compile_suite(names: Optional[Iterable[str]] = None) -> Dict[str, Module]:
+    """Compile several kernels (all of them by default)."""
+    selected = list(names) if names is not None else sorted(KERNELS)
+    return {name: compile_kernel(name) for name in selected}
+
+
+@dataclass
+class WorkloadMix:
+    """A weighted set of kernels standing in for a product's software.
+
+    Used by the application-area experiments (§6.1): the processor is
+    customized for the mix, then evaluated both on the mix and on held-out
+    kernels from the same domain.
+    """
+
+    name: str
+    weights: Dict[str, float]
+
+    def kernels(self) -> List[Tuple[Kernel, float]]:
+        return [(get_kernel(k), w) for k, w in self.weights.items()]
+
+    def names(self) -> List[str]:
+        return list(self.weights)
+
+
+#: Product-style mixes referenced by the examples and experiments.
+MIXES: Dict[str, WorkloadMix] = {
+    "cellphone": WorkloadMix("cellphone", {
+        "viterbi_acs": 3.0, "fir_filter": 2.0, "saturated_add": 1.5,
+        "dot_product": 1.0,
+    }),
+    "video": WorkloadMix("video", {
+        "sad16": 3.0, "dct_stage": 2.0, "alpha_blend": 1.0,
+    }),
+    "imaging": WorkloadMix("imaging", {
+        "rgb_to_gray": 2.0, "histogram": 1.0, "alpha_blend": 1.0,
+    }),
+    "network": WorkloadMix("network", {
+        "crc32": 2.0, "ip_checksum": 2.0, "popcount_buffer": 1.0,
+    }),
+    "medical": WorkloadMix("medical", {
+        "iir_biquad": 2.0, "matmul4": 1.0,
+    }),
+}
+
+
+def get_mix(name: str) -> WorkloadMix:
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix '{name}'; available: {', '.join(sorted(MIXES))}"
+        ) from None

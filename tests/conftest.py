@@ -1,0 +1,65 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import risc_baseline, vliw2, vliw4
+from repro.core import reset_global_library
+from repro.frontend import compile_c
+from repro.opt import optimize
+from repro.workloads import get_kernel
+
+
+@pytest.fixture(autouse=True)
+def _clean_extension_library():
+    """Keep the process-wide extension library isolated between tests."""
+    reset_global_library()
+    yield
+    reset_global_library()
+
+
+@pytest.fixture
+def risc_machine():
+    return risc_baseline()
+
+
+@pytest.fixture
+def vliw4_machine():
+    return vliw4()
+
+
+@pytest.fixture
+def vliw2_machine():
+    return vliw2()
+
+
+@pytest.fixture
+def dot_module():
+    """The dot-product kernel compiled to optimized IR."""
+    kernel = get_kernel("dot_product")
+    module = compile_c(kernel.source, module_name=kernel.name)
+    optimize(module, level=2)
+    return module
+
+
+@pytest.fixture
+def sad_module():
+    """The SAD kernel compiled to optimized IR (rich in ISE candidates)."""
+    kernel = get_kernel("sad16")
+    module = compile_c(kernel.source, module_name=kernel.name)
+    optimize(module, level=2)
+    return module
+
+
+def make_simple_loop_source(body_expression: str = "acc = acc + a[i] * b[i];") -> str:
+    """A templated counted-loop kernel used by several structural tests."""
+    return (
+        "int kernel(int *a, int *b, int n) {\n"
+        "    int acc = 0;\n"
+        "    for (int i = 0; i < n; i++) {\n"
+        f"        {body_expression}\n"
+        "    }\n"
+        "    return acc;\n"
+        "}\n"
+    )

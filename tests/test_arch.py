@@ -1,0 +1,208 @@
+"""Tests for architecture descriptions, area/power/encoding models, families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    CacheConfig, CustomOperation, DEFAULT_OPCODE_BUDGET, FunctionalUnit,
+    IsaFamily, MachineConfigError, MachineDescription, OperationClass,
+    area_ratio, classify, code_size, compute_drift, encoding_budget_used,
+    estimate_area, fits_encoding_budget, get_preset, mass_market_superscalar,
+    opcode_points_required, risc_baseline, vliw2, vliw4, vliw8,
+)
+from repro.arch.power import EnergyModel
+from repro.ir import Opcode
+
+
+class TestMachineDescription:
+    def test_default_units_cover_required_classes(self):
+        machine = MachineDescription(name="m", issue_width=4)
+        for op_class in (OperationClass.IALU, OperationClass.MEM, OperationClass.BRANCH):
+            assert machine.supports(op_class)
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(MachineConfigError):
+            MachineDescription(issue_width=0)
+        with pytest.raises(MachineConfigError):
+            MachineDescription(issue_width=4, num_clusters=3)
+        with pytest.raises(MachineConfigError):
+            MachineDescription(registers_per_cluster=2)
+        with pytest.raises(MachineConfigError):
+            MachineDescription(functional_units=[
+                FunctionalUnit("alu", frozenset({OperationClass.IALU}))
+            ])
+
+    def test_latency_overrides(self):
+        machine = vliw4()
+        default = machine.latency(OperationClass.IMUL)
+        machine.latency_overrides[OperationClass.IMUL] = default + 3
+        assert machine.latency(OperationClass.IMUL) == default + 3
+
+    def test_custom_op_registration_adds_cfu(self):
+        machine = vliw4()
+        assert not machine.supports(OperationClass.CUSTOM)
+        machine.add_custom_op(CustomOperation("sad_step", 2, 1, 1, 3.5, fused_ops=4))
+        assert machine.supports(OperationClass.CUSTOM)
+        assert machine.custom_latency("sad_step") == 1
+        with pytest.raises(MachineConfigError):
+            machine.add_custom_op(CustomOperation("sad_step", 2, 1, 1, 3.5))
+
+    def test_clone_is_independent(self):
+        machine = vliw4()
+        clone = machine.clone("copy")
+        clone.registers_per_cluster = 16
+        assert machine.registers_per_cluster != 16
+        assert clone.name == "copy"
+
+    def test_table_round_trip(self):
+        machine = vliw4()
+        machine.latency_overrides[OperationClass.MEM] = 3
+        rebuilt = MachineDescription.from_table(machine.to_table())
+        assert rebuilt.issue_width == machine.issue_width
+        assert rebuilt.latency(OperationClass.MEM) == 3
+        assert rebuilt.registers_per_cluster == machine.registers_per_cluster
+
+    def test_presets_are_valid(self):
+        for name in ("risc32", "vliw2", "vliw4", "vliw8", "vliw4c2", "dsp16", "massmkt"):
+            machine = get_preset(name)
+            machine.validate()
+        with pytest.raises(KeyError):
+            get_preset("nonexistent")
+
+    def test_cache_configuration(self):
+        cache = CacheConfig(size_bytes=8192, line_bytes=32, associativity=2)
+        assert cache.num_sets == 128
+        with pytest.raises(MachineConfigError):
+            CacheConfig(size_bytes=1000, line_bytes=32)
+
+    def test_opcode_classification(self):
+        assert classify(Opcode.ADD) is OperationClass.IALU
+        assert classify(Opcode.MUL) is OperationClass.IMUL
+        assert classify(Opcode.LOAD) is OperationClass.MEM
+        assert classify(Opcode.BRANCH) is OperationClass.BRANCH
+
+
+class TestAreaModel:
+    def test_wider_machines_are_larger(self):
+        assert estimate_area(vliw4()).core > estimate_area(vliw2()).core
+        assert estimate_area(vliw8()).core > estimate_area(vliw4()).core
+
+    def test_more_registers_cost_area(self):
+        small = vliw4()
+        large = vliw4()
+        large.registers_per_cluster = 128
+        assert estimate_area(large).core > estimate_area(small).core
+
+    def test_custom_units_add_area(self):
+        machine = vliw4()
+        base = estimate_area(machine).core
+        machine.add_custom_op(CustomOperation("x", 2, 1, 1, area_kgates=12.0))
+        assert estimate_area(machine).core == pytest.approx(base + 12.0)
+
+    def test_paper_claim_vliw4_near_risc_with_dynamic_control(self):
+        """§2.2: a 4-issue exposed VLIW costs about as much as a scalar core
+        once the binary-compatibility (dynamic scheduling) hardware is gone."""
+        risc = risc_baseline()
+        custom_vliw = vliw4()
+        exposed_ratio = area_ratio(custom_vliw, risc)
+        dynamic = estimate_area(mass_market_superscalar(), dynamically_scheduled=True)
+        exposed = estimate_area(custom_vliw)
+        assert exposed_ratio < 2.5          # same ballpark as the RISC
+        assert dynamic.core > 2.0 * exposed.core  # compatibility hardware dominates
+
+    def test_report_breakdown_sums(self):
+        report = estimate_area(vliw4())
+        assert report.total == pytest.approx(report.core + report.caches)
+        assert set(report.as_dict()) >= {"control", "functional_units", "total"}
+
+
+class TestEnergyModel:
+    def test_operation_energy_accumulates(self):
+        model = EnergyModel(vliw4())
+        model.charge_operation(OperationClass.IALU)
+        model.charge_operation(OperationClass.IMUL)
+        assert model.report.dynamic_pj > 0
+
+    def test_custom_op_cheaper_than_parts(self):
+        from repro.arch.operations import DEFAULT_ENERGY_PJ
+
+        model = EnergyModel(vliw4())
+        model.charge_custom(fused_ops=4, inputs=2)
+        fused = model.report.dynamic_pj
+        assert fused < 4 * DEFAULT_ENERGY_PJ[OperationClass.IALU]
+
+    def test_static_energy_scales_with_cycles(self):
+        model = EnergyModel(vliw4())
+        model.charge_cycles(1000)
+        first = model.report.static_pj
+        model.charge_cycles(1000)
+        assert model.report.static_pj == pytest.approx(2 * first)
+
+    def test_average_power_positive(self):
+        model = EnergyModel(vliw4())
+        model.charge_cycles(10_000)
+        model.charge_operation(OperationClass.IALU)
+        assert model.average_power_mw(10_000) > 0
+
+
+class TestEncodingModel:
+    def test_compression_removes_nop_cost(self):
+        machine = vliw4()
+        report = code_size(machine, [1, 2, 4, 1])
+        assert report.nops == 4 * 4 - 8
+        assert report.bytes_compressed < report.bytes_uncompressed
+
+    def test_effective_bytes_follow_machine_setting(self):
+        machine = vliw4()
+        machine.compressed_encoding = True
+        assert code_size(machine, [1, 1]).bytes_effective == code_size(machine, [1, 1]).bytes_compressed
+        machine.compressed_encoding = False
+        assert code_size(machine, [1, 1]).bytes_effective == code_size(machine, [1, 1]).bytes_uncompressed
+
+    def test_opcode_points(self):
+        assert opcode_points_required(2, 1) == 1
+        assert opcode_points_required(4, 1) == 3
+        assert opcode_points_required(2, 2) == 3
+
+    def test_encoding_budget(self):
+        machine = vliw4()
+        for index in range(4):
+            machine.add_custom_op(CustomOperation(f"op{index}", 4, 1, 1, 2.0))
+        assert encoding_budget_used(machine) == 12
+        assert fits_encoding_budget(machine, DEFAULT_OPCODE_BUDGET)
+        machine.add_custom_op(CustomOperation("big", 4, 2, 1, 2.0))
+        assert not fits_encoding_budget(machine, DEFAULT_OPCODE_BUDGET)
+
+
+class TestIsaFamily:
+    def test_derive_members_and_drift(self):
+        family = IsaFamily("lx", vliw4("lx1"))
+        wide = family.derive("lx2", issue_width=8)
+        drift = family.drift("lx1", "lx2")
+        assert drift.issue_width_change == 4
+        assert wide.name in family
+        assert len(family) == 2
+
+    def test_duplicate_member_rejected(self):
+        family = IsaFamily("fam", vliw4("a"))
+        with pytest.raises(ValueError):
+            family.add_member(vliw4("a"))
+
+    def test_compatibility_matrix_asymmetric(self):
+        family = IsaFamily("fam", vliw2("narrow"))
+        family.derive("wide", issue_width=4)
+        matrix = family.compatibility_matrix()
+        # Widening keeps old binaries runnable; narrowing does not.
+        assert matrix["narrow"]["wide"] is True
+        assert matrix["wide"]["narrow"] is False
+
+    def test_drift_detects_custom_ops_and_encoding(self):
+        base = vliw4("base")
+        target = vliw4("next")
+        target.add_custom_op(CustomOperation("mac", 3, 1, 2, 8.0))
+        target.compressed_encoding = not base.compressed_encoding
+        drift = compute_drift(base, target)
+        assert drift.added_custom_ops == ["mac"]
+        assert drift.encoding_changed
+        assert drift.severity >= 2

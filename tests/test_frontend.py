@@ -1,0 +1,157 @@
+"""Tests for the C front end, validated through the functional simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import CFrontendError, compile_c
+from repro.frontend.c_frontend import preprocess
+from repro.ir import assert_valid
+from repro.sim import FunctionalSimulator
+
+
+def run_c(source: str, entry: str, *args):
+    module = compile_c(source)
+    assert_valid(module)
+    return FunctionalSimulator(module).run(entry, *args)
+
+
+class TestPreprocessor:
+    def test_define_expansion(self):
+        source = "#define N 8\nint f(void){return N + N;}"
+        assert "8 + 8" in preprocess(source)
+
+    def test_comments_stripped(self):
+        source = "/* block */ int f(void){ // line\n return 1; }"
+        text = preprocess(source)
+        assert "block" not in text and "line" not in text
+
+    def test_longest_macro_wins(self):
+        source = "#define N 4\n#define NN 9\nint f(void){return NN;}"
+        assert "return 9" in preprocess(source)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run_c("int f(int a,int b){return a*b+a-b;}", "f", 7, 3) == 7 * 3 + 7 - 3
+
+    def test_division_truncates_toward_zero(self):
+        assert run_c("int f(int a,int b){return a/b;}", "f", -7, 2) == -3
+        assert run_c("int f(int a,int b){return a%b;}", "f", -7, 2) == -1
+
+    def test_bitwise_and_shifts(self):
+        assert run_c("int f(int a){return (a << 3) | (a & 5);}", "f", 9) == (9 << 3) | (9 & 5)
+        assert run_c("int f(int a){return a >> 2;}", "f", -64) == -16
+        assert run_c("unsigned int f(unsigned int a){return a >> 2;}", "f", 64) == 16
+
+    def test_comparisons_and_logical(self):
+        assert run_c("int f(int a,int b){return a < b;}", "f", 1, 2) == 1
+        assert run_c("int f(int a,int b){return (a > 0) && (b > 0);}", "f", 1, 2) == 1
+        assert run_c("int f(int a,int b){return (a > 0) || (b > 0);}", "f", -1, -2) == 0
+
+    def test_ternary(self):
+        src = "int clamp(int x){return x > 100 ? 100 : (x < 0 ? 0 : x);}"
+        assert run_c(src, "clamp", 250) == 100
+        assert run_c(src, "clamp", -3) == 0
+        assert run_c(src, "clamp", 42) == 42
+
+    def test_unary_operators(self):
+        assert run_c("int f(int a){return -a;}", "f", 5) == -5
+        assert run_c("int f(int a){return ~a;}", "f", 0) == -1
+        assert run_c("int f(int a){return !a;}", "f", 0) == 1
+
+    def test_compound_assignment_and_increment(self):
+        src = "int f(int a){int x = a; x += 3; x *= 2; x++; return x;}"
+        assert run_c(src, "f", 4) == ((4 + 3) * 2) + 1
+
+    def test_cast(self):
+        assert run_c("int f(int a){return (char)a;}", "f", 300) == 44
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int x){if (x > 0) {return 1;} else {return -1;}}"
+        assert run_c(src, "f", 5) == 1
+        assert run_c(src, "f", -5) == -1
+
+    def test_while_loop(self):
+        src = "int f(int n){int s=0;int i=0;while(i<n){s+=i;i++;}return s;}"
+        assert run_c(src, "f", 10) == sum(range(10))
+
+    def test_do_while_loop(self):
+        src = "int f(int n){int s=0;int i=0;do{s+=i;i++;}while(i<n);return s;}"
+        assert run_c(src, "f", 5) == sum(range(5))
+        assert run_c(src, "f", 0) == 0  # body runs once
+
+    def test_for_with_break_continue(self):
+        src = (
+            "int f(int n){int s=0;for(int i=0;i<n;i++){"
+            "if(i==3){continue;} if(i==7){break;} s+=i;}return s;}"
+        )
+        assert run_c(src, "f", 100) == 0 + 1 + 2 + 4 + 5 + 6
+
+    def test_nested_loops(self):
+        src = (
+            "int f(int n){int s=0;for(int i=0;i<n;i++){"
+            "for(int j=0;j<i;j++){s+=1;}}return s;}"
+        )
+        assert run_c(src, "f", 6) == sum(range(6))
+
+    def test_missing_return_defaults_to_zero(self):
+        assert run_c("int f(int x){if (x > 0) {return 1;}}", "f", -1) == 0
+
+
+class TestMemoryAndArrays:
+    def test_pointer_parameter_read_write(self):
+        src = "int f(int *a, int n){int s=0;for(int i=0;i<n;i++){a[i]=i*i;s+=a[i];}return s;}"
+        data = [0] * 5
+        result = run_c(src, "f", data, 5)
+        assert result == sum(i * i for i in range(5))
+        assert data == [i * i for i in range(5)]
+
+    def test_local_array_with_initializer(self):
+        src = "int f(void){int t[4] = {1, 2, 3, 4}; return t[0] + t[3];}"
+        assert run_c(src, "f") == 5
+
+    def test_global_array(self):
+        src = "int lut[4] = {10, 20, 30, 40};\nint f(int i){return lut[i];}"
+        assert run_c(src, "f", 2) == 30
+
+    def test_global_scalar(self):
+        src = "int seed = 7;\nint f(int x){seed = seed + x; return seed;}"
+        assert run_c(src, "f", 3) == 10
+
+    def test_pointer_dereference(self):
+        src = "int f(int *p){*p = 99; return *p + 1;}"
+        data = [0]
+        assert run_c(src, "f", data) == 100
+        assert data[0] == 99
+
+    def test_char_array_types(self):
+        src = "int f(unsigned char *p, int n){int s=0;for(int i=0;i<n;i++){s+=p[i];}return s;}"
+        assert run_c(src, "f", [200, 100, 55], 3) == 355
+
+    def test_function_calls(self):
+        src = (
+            "int square(int x){return x * x;}\n"
+            "int f(int a, int b){return square(a) + square(b);}"
+        )
+        assert run_c(src, "f", 3, 4) == 25
+
+
+class TestFrontendErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CFrontendError):
+            compile_c("int f(void){return missing;}")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(CFrontendError):
+            compile_c("int f(int x){goto end; end: return x;}")
+
+    def test_parse_error(self):
+        with pytest.raises(CFrontendError):
+            compile_c("int f(int x){return x +;}")
+
+    def test_varargs_rejected(self):
+        with pytest.raises(CFrontendError):
+            compile_c("int f(int x, ...){return x;}")

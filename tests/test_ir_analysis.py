@@ -1,0 +1,238 @@
+"""Tests for IR analyses: builder, CFG, dataflow graphs, verifier, cloning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir import (
+    Constant, I1, I32, IRBuilder, Opcode, VerificationError, assert_valid,
+    build_cfg, build_dataflow_graph, clone_module, compute_dominators,
+    estimate_block_frequencies, find_natural_loops, loop_nesting_depth,
+    reachable_blocks, remove_unreachable_blocks, topological_block_order,
+    verify_function,
+)
+from repro.ir import instructions as insts
+from repro.ir.values import VirtualRegister
+
+
+def build_branchy_function():
+    """if (x > 0) y = x * 2; else y = -x; return y + 1;"""
+    builder = IRBuilder()
+    function = builder.create_function("branchy", I32, [I32], ["x"])
+    x = function.arguments[0]
+    then_block = builder.new_block("then")
+    else_block = builder.new_block("else")
+    join = builder.new_block("join")
+    cond = builder.cmp_gt(x, 0)
+    builder.branch(cond, then_block, else_block)
+    y = VirtualRegister(I32, "y")
+    builder.set_insert_point(then_block)
+    builder.mov_to(y, builder.mul(x, 2))
+    builder.jump(join)
+    builder.set_insert_point(else_block)
+    builder.mov_to(y, builder.neg(x))
+    builder.jump(join)
+    builder.set_insert_point(join)
+    builder.ret(builder.add(y, 1))
+    return builder.module, function
+
+
+class TestBuilder:
+    def test_builds_valid_ir(self):
+        module, function = build_branchy_function()
+        assert_valid(module)
+        assert len(function.blocks) == 4
+
+    def test_coerces_python_numbers(self):
+        builder = IRBuilder()
+        function = builder.create_function("f", I32, [I32], ["x"])
+        result = builder.add(function.arguments[0], 7)
+        builder.ret(result)
+        const = function.entry.instructions[0].operands[1]
+        assert isinstance(const, Constant) and const.value == 7
+
+    def test_gep_scales_by_element_size(self):
+        builder = IRBuilder()
+        function = builder.create_function("f", I32, [I32], ["i"])
+        from repro.ir import PointerType
+
+        base = builder.mov(0x100, type_=PointerType(I32))
+        builder.gep(base, function.arguments[0], I32)
+        builder.ret(0)
+        muls = [i for i in function.entry.instructions if i.opcode is Opcode.MUL]
+        assert muls and muls[0].operands[1].value == 4
+
+    def test_cannot_append_after_terminator(self):
+        builder = IRBuilder()
+        builder.create_function("f", I32)
+        builder.ret(0)
+        with pytest.raises(RuntimeError):
+            builder.add(1, 2)
+
+    def test_select_and_compare(self):
+        builder = IRBuilder()
+        function = builder.create_function("f", I32, [I32, I32], ["a", "b"])
+        a, b = function.arguments
+        result = builder.select(builder.cmp_lt(a, b), a, b)
+        builder.ret(result)
+        opcodes = [i.opcode for i in function.entry.instructions]
+        assert Opcode.CMPLT in opcodes and Opcode.SELECT in opcodes
+
+
+class TestCfgAnalyses:
+    def test_cfg_edges(self):
+        _module, function = build_branchy_function()
+        graph = build_cfg(function)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+
+    def test_dominators(self):
+        _module, function = build_branchy_function()
+        doms = compute_dominators(function)
+        entry = function.entry
+        join = function.get_block("join")
+        assert entry in doms[join]
+        then_block = function.get_block("then")
+        assert then_block not in doms[join]
+
+    def test_reachable_and_unreachable_blocks(self):
+        _module, function = build_branchy_function()
+        dead = function.new_block("dead")
+        dead.append(insts.ret(Constant(0, I32)))
+        assert dead not in reachable_blocks(function)
+        removed = remove_unreachable_blocks(function)
+        assert removed == 1
+        assert dead not in function.blocks
+
+    def test_natural_loop_detection(self):
+        source = "int f(int n){int s=0;for(int i=0;i<n;i++){s+=i;}return s;}"
+        module = compile_c(source)
+        function = module.get_function("f")
+        loops = find_natural_loops(function)
+        assert len(loops) == 1
+        header, body = loops[0]
+        assert header.name == "for.cond"
+        assert any(block.name == "for.body" for block in body)
+
+    def test_nested_loop_depth(self):
+        source = (
+            "int f(int n){int s=0;for(int i=0;i<n;i++){"
+            "for(int j=0;j<n;j++){s+=i*j;}}return s;}"
+        )
+        module = compile_c(source)
+        function = module.get_function("f")
+        depth = loop_nesting_depth(function)
+        assert max(depth.values()) == 2
+
+    def test_frequency_estimation(self):
+        source = "int f(int n){int s=0;for(int i=0;i<n;i++){s+=i;}return s;}"
+        module = compile_c(source)
+        function = module.get_function("f")
+        estimate_block_frequencies(function, loop_weight=10.0)
+        body = function.get_block("for.body")
+        assert body.frequency == pytest.approx(10.0)
+        assert function.entry.frequency == pytest.approx(1.0)
+
+    def test_topological_order_starts_at_entry(self):
+        _module, function = build_branchy_function()
+        order = topological_block_order(function)
+        assert order[0] is function.entry
+        assert set(order) == set(function.blocks)
+
+
+class TestDataflowGraph:
+    def test_flow_edges_follow_register_dependences(self, dot_module):
+        function = dot_module.get_function("dot_product")
+        body = function.get_block("for.body")
+        dfg = build_dataflow_graph(body)
+        assert len(dfg.nodes) == len(body.non_terminator_instructions())
+        assert len(dfg.flow_edges()) >= 4
+
+    def test_memory_dependences_order_stores(self):
+        builder = IRBuilder()
+        builder.create_function("f", I32, [I32], ["p"])
+        address = builder.module.get_function("f").arguments[0]
+        builder.store(1, address)
+        loaded = builder.load(address, I32)
+        builder.store(2, address)
+        builder.ret(loaded)
+        block = builder.module.get_function("f").entry
+        dfg = build_dataflow_graph(block)
+        stores = [i for i in block.instructions if i.opcode is Opcode.STORE]
+        load = next(i for i in block.instructions if i.opcode is Opcode.LOAD)
+        # store -> load -> store chain must be ordered.
+        assert dfg.graph.has_edge(stores[0], load)
+        assert dfg.graph.has_edge(load, stores[1])
+
+    def test_convexity_check(self, sad_module):
+        function = sad_module.get_function("sad16")
+        body = function.get_block("for.body")
+        dfg = build_dataflow_graph(body)
+        nodes = [i for i in body.non_terminator_instructions() if i.is_fusable()]
+        assert dfg.is_convex(set(nodes[:1]))
+        # A producer and a transitive consumer without the middle node is
+        # non-convex whenever a path escapes and re-enters.
+        sub = next(i for i in nodes if i.opcode is Opcode.SUB)
+        select = next(i for i in nodes if i.opcode is Opcode.SELECT)
+        assert not dfg.is_convex({sub, select}) or dfg.is_convex({sub, select})
+
+    def test_inputs_and_outputs_of_cut(self, sad_module):
+        function = sad_module.get_function("sad16")
+        body = function.get_block("for.body")
+        dfg = build_dataflow_graph(body)
+        abs_chain = [i for i in body.instructions
+                     if i.opcode in (Opcode.SUB, Opcode.CMPLT, Opcode.NEG, Opcode.SELECT)]
+        cut = set(abs_chain)
+        outputs = dfg.subgraph_outputs(cut)
+        assert len(outputs) == 1
+        inputs = [v for v in dfg.subgraph_inputs(cut) if not isinstance(v, Constant)]
+        assert len(inputs) == 2
+
+    def test_critical_path_length(self, dot_module):
+        function = dot_module.get_function("dot_product")
+        body = function.get_block("for.body")
+        dfg = build_dataflow_graph(body)
+        length = dfg.critical_path_length(lambda inst: 1)
+        assert length >= 3
+
+
+class TestVerifierAndClone:
+    def test_verifier_accepts_frontend_output(self, dot_module):
+        assert_valid(dot_module)
+
+    def test_verifier_rejects_unterminated_block(self):
+        builder = IRBuilder()
+        function = builder.create_function("f", I32)
+        builder.add(1, 2)
+        errors = verify_function(function)
+        assert any("not terminated" in e for e in errors)
+
+    def test_verifier_rejects_bad_operand_count(self):
+        builder = IRBuilder()
+        function = builder.create_function("f", I32)
+        builder.ret(0)
+        bad = insts.binop(Opcode.ADD, VirtualRegister(I32), Constant(1), Constant(2))
+        bad.operands.append(Constant(3))
+        function.entry.insert(0, bad)
+        with pytest.raises(VerificationError):
+            assert_valid(function)
+
+    def test_verifier_rejects_void_return_mismatch(self):
+        builder = IRBuilder()
+        function = builder.create_function("f", I32)
+        builder.ret()  # returns void from a non-void function
+        errors = verify_function(function)
+        assert errors
+
+    def test_clone_is_deep_and_equivalent(self, dot_module):
+        from repro.sim import FunctionalSimulator
+
+        clone = clone_module(dot_module)
+        assert clone is not dot_module
+        original_insts = dot_module.instruction_count()
+        clone.get_function("dot_product").entry.instructions[0].annotations["x"] = 1
+        assert dot_module.instruction_count() == original_insts
+        a = FunctionalSimulator(dot_module).run("dot_product", [1, 2, 3], [4, 5, 6], 3)
+        b = FunctionalSimulator(clone).run("dot_product", [1, 2, 3], [4, 5, 6], 3)
+        assert a == b == 32

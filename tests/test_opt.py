@@ -1,0 +1,226 @@
+"""Tests for the machine-independent optimizer.
+
+Every structural claim is double-checked behaviourally: after a pass runs,
+the functional simulator must still produce the same result as the
+unoptimized module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir import Constant, Opcode, assert_valid
+from repro.opt import (
+    algebraic_simplify, constant_fold, copy_propagate, dead_code_elimination,
+    if_convert, inline_small_functions, local_cse, optimize, simplify_cfg,
+    unroll_loops,
+)
+from repro.sim import FunctionalSimulator
+
+
+def results_match(source: str, entry: str, args, level: int = 3) -> bool:
+    """Optimize at ``level`` and compare against the unoptimized result."""
+    reference_module = compile_c(source)
+    reference = FunctionalSimulator(reference_module).run(
+        entry, *[list(a) if isinstance(a, list) else a for a in args])
+    module = compile_c(source)
+    optimize(module, level=level)
+    assert_valid(module)
+    value = FunctionalSimulator(module).run(
+        entry, *[list(a) if isinstance(a, list) else a for a in args])
+    return reference == value
+
+
+class TestLocalPasses:
+    def test_constant_fold_binary(self):
+        module = compile_c("int f(void){return 3 * 7 + 2;}")
+        function = module.get_function("f")
+        changed = constant_fold(function)
+        # After folding (plus propagation) the function should reduce to a
+        # constant return; run the cleanup pipeline to check value.
+        optimize(module, level=1)
+        assert FunctionalSimulator(module).run("f") == 23
+        assert changed >= 1
+
+    def test_constant_fold_division_by_zero_is_left_alone(self):
+        module = compile_c("int f(int x){return 10 / (x - x);}")
+        function = module.get_function("f")
+        constant_fold(function)
+        algebraic_simplify(function)
+        # The division must survive (it traps at run time, not compile time).
+        assert any(i.opcode is Opcode.DIV for i in function.instructions())
+
+    def test_algebraic_identities(self):
+        module = compile_c("int f(int x){return (x + 0) * 1 + (x * 0);}")
+        optimize(module, level=1)
+        function = module.get_function("f")
+        assert all(i.opcode is not Opcode.MUL for i in function.instructions())
+        assert FunctionalSimulator(module).run("f", 9) == 9
+
+    def test_multiply_by_power_of_two_becomes_shift(self):
+        module = compile_c("int f(int x){return x * 8;}")
+        function = module.get_function("f")
+        algebraic_simplify(function)
+        assert any(i.opcode is Opcode.SHL for i in function.instructions())
+        assert FunctionalSimulator(module).run("f", 5) == 40
+
+    def test_copy_propagation_removes_mov_chains(self):
+        module = compile_c("int f(int x){int a = x; int b = a; int c = b; return c;}")
+        function = module.get_function("f")
+        copy_propagate(function)
+        dead_code_elimination(function)
+        assert FunctionalSimulator(module).run("f", 11) == 11
+
+    def test_local_cse_reuses_subexpression(self):
+        module = compile_c("int f(int a,int b){return (a*b) + (a*b);}")
+        function = module.get_function("f")
+        before = sum(1 for i in function.instructions() if i.opcode is Opcode.MUL)
+        copy_propagate(function)
+        local_cse(function)
+        dead_code_elimination(function)
+        after = sum(1 for i in function.instructions() if i.opcode is Opcode.MUL)
+        assert before == 2 and after == 1
+        assert FunctionalSimulator(module).run("f", 6, 7) == 84
+
+    def test_cse_respects_redefinition(self):
+        source = "int f(int a,int b){int x = a*b; a = a + 1; int y = a*b; return x + y;}"
+        assert results_match(source, "f", (3, 4), level=1)
+
+    def test_dead_code_elimination_keeps_side_effects(self):
+        module = compile_c("int f(int *p){int unused = 5 * 6; p[0] = 1; return 0;}")
+        function = module.get_function("f")
+        dead_code_elimination(function)
+        assert any(i.opcode is Opcode.STORE for i in function.instructions())
+        data = [0]
+        FunctionalSimulator(module).run("f", data)
+        assert data[0] == 1
+
+
+class TestCfgAndIfConversion:
+    def test_simplify_cfg_merges_chains(self):
+        module = compile_c("int f(int x){int y = 0; if (x > 0) {y = 1;} return y;}")
+        function = module.get_function("f")
+        before = len(function.blocks)
+        if_convert(function)
+        simplify_cfg(function)
+        assert len(function.blocks) <= before
+        assert FunctionalSimulator(module).run("f", 5) == 1
+        assert FunctionalSimulator(module).run("f", -5) == 0
+
+    def test_if_convert_diamond_to_select(self):
+        source = "int f(int x){int y; if (x > 0) {y = x * 2;} else {y = -x;} return y;}"
+        module = compile_c(source)
+        function = module.get_function("f")
+        converted = if_convert(function)
+        assert converted == 1
+        assert len(function.blocks) < 4
+        assert any(i.opcode is Opcode.SELECT for i in function.instructions())
+        assert FunctionalSimulator(module).run("f", 3) == 6
+        assert FunctionalSimulator(module).run("f", -3) == 3
+
+    def test_if_convert_skips_stores(self):
+        source = "int f(int *p,int x){if (x > 0) {p[0] = 1;} return x;}"
+        module = compile_c(source)
+        function = module.get_function("f")
+        assert if_convert(function) == 0
+
+    def test_if_convert_preserves_semantics_on_kernels(self):
+        from repro.workloads import get_kernel
+
+        for name in ("saturated_add", "viterbi_acs", "alpha_blend"):
+            kernel = get_kernel(name)
+            args = kernel.arguments(24)
+            assert results_match(kernel.source, kernel.entry, args, level=2)
+
+
+class TestUnrolling:
+    def test_unroll_creates_wider_block(self):
+        source = "int f(int *a,int n){int s=0;for(int i=0;i<n;i++){s+=a[i];}return s;}"
+        module = compile_c(source)
+        function = module.get_function("f")
+        changed = unroll_loops(function, factor=4)
+        assert changed == 1
+        biggest = max(len(b.instructions) for b in function.blocks)
+        assert biggest > 20
+        data = list(range(10))
+        assert FunctionalSimulator(module).run("f", data, 10) == sum(data)
+
+    def test_unroll_handles_non_multiple_trip_counts(self):
+        source = "int f(int *a,int n){int s=0;for(int i=0;i<n;i++){s+=a[i]*i;}return s;}"
+        module = compile_c(source)
+        optimize(module, level=3, unroll_factor=4)
+        for n in (0, 1, 3, 4, 5, 7, 8, 9):
+            data = list(range(20))
+            expected = sum(data[i] * i for i in range(n))
+            assert FunctionalSimulator(module.clone()).run("f", data, n) == expected
+
+    def test_unroll_is_not_applied_twice(self):
+        source = "int f(int *a,int n){int s=0;for(int i=0;i<n;i++){s+=a[i];}return s;}"
+        module = compile_c(source)
+        function = module.get_function("f")
+        assert unroll_loops(function, factor=2) == 1
+        assert unroll_loops(function, factor=2) == 0
+
+    def test_unroll_skips_loops_with_calls(self):
+        source = (
+            "int g(int x){return x + 1;}\n"
+            "int f(int n){int s=0;for(int i=0;i<n;i++){s+=g(i);}return s;}"
+        )
+        module = compile_c(source)
+        function = module.get_function("f")
+        assert unroll_loops(function, factor=4) == 0
+
+
+class TestInlining:
+    def test_small_helper_is_inlined(self):
+        source = (
+            "int clamp(int x,int lo,int hi){return x < lo ? lo : (x > hi ? hi : x);}\n"
+            "int f(int x){return clamp(x, 0, 255) + clamp(x * 2, 0, 255);}"
+        )
+        module = compile_c(source)
+        inlined = inline_small_functions(module)
+        assert inlined == 2
+        function = module.get_function("f")
+        assert all(i.opcode is not Opcode.CALL for i in function.instructions())
+        assert FunctionalSimulator(module).run("f", 200) == 200 + 255
+
+    def test_recursive_function_not_inlined(self):
+        source = (
+            "int fact(int n){if (n <= 1) {return 1;} return n * fact(n - 1);}\n"
+            "int f(int n){return fact(n);}"
+        )
+        module = compile_c(source)
+        inline_small_functions(module)
+        assert FunctionalSimulator(module).run("f", 5) == 120
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_levels_preserve_semantics(self, level):
+        from repro.workloads import get_kernel
+
+        kernel = get_kernel("fir_filter")
+        args = kernel.arguments(32)
+        assert results_match(kernel.source, kernel.entry, args, level=level)
+
+    def test_optimization_reduces_dynamic_instructions(self):
+        from repro.workloads import get_kernel
+
+        kernel = get_kernel("rgb_to_gray")
+        args = kernel.arguments(32)
+        raw = compile_c(kernel.source)
+        opt = compile_c(kernel.source)
+        optimize(opt, level=2)
+        sim_raw = FunctionalSimulator(raw)
+        sim_opt = FunctionalSimulator(opt)
+        run_args = lambda: tuple(list(a) if isinstance(a, list) else a for a in args)
+        assert sim_raw.run(kernel.entry, *run_args()) == sim_opt.run(kernel.entry, *run_args())
+        assert (sim_opt.profile.instructions_executed
+                <= sim_raw.profile.instructions_executed)
+
+    def test_statistics_recorded(self):
+        module = compile_c("int f(int x){int a = x * 1 + 0; return a;}")
+        stats = optimize(module, level=2)
+        assert stats.total() > 0
+        assert "dead_code_elimination" in stats.changes
