@@ -27,6 +27,7 @@ from .arch import (
     mass_market_superscalar, risc_baseline, vliw, vliw2, vliw4, vliw8,
 )
 from .core import IsaCustomizer, customize_isa
+from .exec import BatchEvaluator, CompiledSimulator, make_functional_simulator
 from .frontend import compile_c
 from .ir import IRBuilder, Module
 from .opt import optimize
@@ -40,6 +41,7 @@ __all__ = [
     "mass_market_superscalar", "risc_baseline", "vliw", "vliw2", "vliw4",
     "vliw8",
     "IsaCustomizer", "customize_isa",
+    "BatchEvaluator", "CompiledSimulator", "make_functional_simulator",
     "compile_c",
     "IRBuilder", "Module",
     "optimize",

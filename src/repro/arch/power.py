@@ -52,6 +52,27 @@ class EnergyReport:
         }
 
 
+def operation_pj(op_class: OperationClass, custom_inputs: int = 0) -> float:
+    """Dynamic energy of one executed operation, in pJ."""
+    energy = DEFAULT_ENERGY_PJ[op_class]
+    if op_class is OperationClass.CUSTOM and custom_inputs > 2:
+        energy += CUSTOM_INPUT_PJ * (custom_inputs - 2)
+    return energy
+
+
+def custom_pj(fused_ops: int, inputs: int) -> float:
+    """Dynamic energy of one custom op replacing ``fused_ops`` primitives.
+
+    A fused datapath avoids intermediate register-file writebacks, so its
+    energy is less than the sum of the primitives it replaces; we model a
+    40% saving on the fused portion.
+    """
+    base = DEFAULT_ENERGY_PJ[OperationClass.IALU] * max(1, fused_ops) * 0.6
+    if inputs > 2:
+        base += CUSTOM_INPUT_PJ * (inputs - 2)
+    return base
+
+
 class EnergyModel:
     """Accumulates energy for a run on a specific machine."""
 
@@ -67,22 +88,11 @@ class EnergyModel:
     def charge_operation(self, op_class: OperationClass,
                          custom_inputs: int = 0) -> None:
         """Charge the dynamic energy of one executed operation."""
-        energy = DEFAULT_ENERGY_PJ[op_class]
-        if op_class is OperationClass.CUSTOM and custom_inputs > 2:
-            energy += CUSTOM_INPUT_PJ * (custom_inputs - 2)
-        self.report.dynamic_pj += energy
+        self.report.dynamic_pj += operation_pj(op_class, custom_inputs)
 
     def charge_custom(self, fused_ops: int, inputs: int) -> None:
-        """Charge a custom operation that replaces ``fused_ops`` primitives.
-
-        A fused datapath avoids intermediate register-file writebacks, so
-        its energy is less than the sum of the primitives it replaces; we
-        model a 40% saving on the fused portion.
-        """
-        base = DEFAULT_ENERGY_PJ[OperationClass.IALU] * max(1, fused_ops) * 0.6
-        if inputs > 2:
-            base += CUSTOM_INPUT_PJ * (inputs - 2)
-        self.report.dynamic_pj += base
+        """Charge a custom operation that replaces ``fused_ops`` primitives."""
+        self.report.dynamic_pj += custom_pj(fused_ops, inputs)
 
     def charge_cycles(self, cycles: int) -> None:
         """Charge static energy for ``cycles`` elapsed cycles."""

@@ -16,6 +16,7 @@ paper describes the table-driven toolchain enabling.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
@@ -68,25 +69,24 @@ class ExplorationResult:
 class Explorer:
     """Searches a :class:`DesignSpace` for the best fit to a workload mix."""
 
-    def __init__(self, evaluator: Evaluator, objective: str = "perf_per_area") -> None:
+    def __init__(self, evaluator: Evaluator, objective: str = "perf_per_area",
+                 batch: Optional["BatchEvaluator"] = None) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
                 f"unknown objective '{objective}'; options: {', '.join(OBJECTIVES)}"
             )
+        from ..exec.batch import BatchEvaluator
+
         self.evaluator = evaluator
         self.objective = objective
         self._objective_fn = OBJECTIVES[objective]
-        self._cache: Dict[str, Evaluation] = {}
+        #: all evaluation flows through the batch layer (memoized by the
+        #: design point's cache key; optionally parallel and disk-backed).
+        self.batch = batch if batch is not None else BatchEvaluator(evaluator)
 
     # ------------------------------------------------------------------
     def _evaluate(self, point: DesignPoint) -> Evaluation:
-        key = point.name()
-        if key not in self._cache:
-            machine = point.to_machine()
-            self._cache[key] = self.evaluator.evaluate(
-                machine, custom_area_budget=point.custom_area_budget
-            )
-        return self._cache[key]
+        return self.batch.evaluate(point)
 
     def _score(self, evaluation: Evaluation) -> float:
         if not evaluation.feasible:
@@ -97,10 +97,10 @@ class Explorer:
     # Strategies.
     # ------------------------------------------------------------------
     def exhaustive(self, space: DesignSpace) -> ExplorationResult:
-        """Evaluate every point of ``space``."""
+        """Evaluate every point of ``space`` (in one batch)."""
         result = ExplorationResult(objective=self.objective)
-        for point in space.points():
-            evaluation = self._evaluate(point)
+        points = list(space.points())
+        for evaluation in self.batch.evaluate_many(points):
             result.evaluations.append(evaluation)
             result.points_evaluated += 1
             if result.best is None or self._score(evaluation) > self._score(result.best):
@@ -128,6 +128,7 @@ class Explorer:
             custom_area_budget=min(space.custom_budgets),
         )
         result = ExplorationResult(objective=self.objective)
+        seen = {current.cache_key()}
         best_eval = self._evaluate(current)
         result.evaluations.append(best_eval)
         result.points_evaluated += 1
@@ -138,11 +139,12 @@ class Explorer:
                 for option in options:
                     if getattr(current, axis) == option:
                         continue
-                    candidate = DesignPoint(**{**current.__dict__, axis: option})
+                    candidate = dataclasses.replace(current, **{axis: option})
                     if candidate.issue_width % candidate.clusters != 0:
                         continue
                     evaluation = self._evaluate(candidate)
-                    if evaluation not in result.evaluations:
+                    if candidate.cache_key() not in seen:
+                        seen.add(candidate.cache_key())
                         result.evaluations.append(evaluation)
                         result.points_evaluated += 1
                     if self._score(evaluation) > self._score(best_eval):
@@ -157,24 +159,33 @@ class Explorer:
 
     def annealing(self, space: DesignSpace, iterations: int = 40,
                   seed: int = 7, initial_temperature: float = 1.0) -> ExplorationResult:
-        """Simulated annealing with a deterministic RNG."""
+        """Simulated annealing with a deterministic RNG.
+
+        Candidate selection does not depend on evaluation outcomes, so the
+        whole candidate sequence is drawn up front and evaluated as one
+        batch; the annealing walk is then replayed over the prefetched
+        evaluations.  Results are deterministic for a given seed.
+        """
         rng = random.Random(seed)
         points = list(space.points())
         if not points:
             raise ValueError("design space is empty")
         current = rng.choice(points)
-        current_eval = self._evaluate(current)
+        candidates = [rng.choice(points) for _ in range(iterations)]
+        prefetched = self.batch.evaluate_many([current] + candidates)
+        current_eval = prefetched[0]
         best_eval = current_eval
 
         result = ExplorationResult(objective=self.objective)
+        seen = {current.cache_key()}
         result.evaluations.append(current_eval)
         result.points_evaluated += 1
 
-        for step in range(iterations):
+        for step, (candidate, evaluation) in enumerate(
+                zip(candidates, prefetched[1:])):
             temperature = initial_temperature * (1.0 - step / max(1, iterations))
-            candidate = rng.choice(points)
-            evaluation = self._evaluate(candidate)
-            if evaluation not in result.evaluations:
+            if candidate.cache_key() not in seen:
+                seen.add(candidate.cache_key())
                 result.evaluations.append(evaluation)
                 result.points_evaluated += 1
             delta = self._score(evaluation) - self._score(current_eval)

@@ -6,6 +6,19 @@ library so candidate machines do not contaminate each other), runs the
 cycle simulator, and reduces the measurements to the objective metrics
 the paper's argument uses: execution time, silicon area, energy, code
 size, and their ratios.
+
+Two measurement engines are available (``engine=``):
+
+* ``"cycle"`` (default) — the cycle-accurate simulator executes the
+  scheduled code directly: exact timing including cache behaviour.
+* ``"compiled"`` — the threaded-code engine
+  (:class:`repro.exec.CompiledSimulator`) executes the kernel for the
+  value and dynamic profile, and cycles are reduced *statically* from the
+  schedule: measured block visit counts times each block's schedule
+  length, plus call and taken-branch penalties.  This matches the cycle
+  simulator except for cache-stall modelling (no i/d-cache stalls and no
+  cache access energy) and is several times faster — the screening mode
+  for large design-space sweeps.
 """
 
 from __future__ import annotations
@@ -20,10 +33,19 @@ from ..core.customizer import IsaCustomizer
 from ..core.identification import EnumerationConfig
 from ..core.library import ExtensionLibrary
 from ..core.selection import SelectionConfig
+from ..arch.operations import OperationClass
+from ..arch.power import EnergyModel, custom_pj, operation_pj
+from ..backend.mcode import CompiledModule
+from ..exec.engine import CompiledSimulator
+from ..ir import Opcode
 from ..opt import optimize
 from ..sim.cycle import CycleSimulator
+from ..sim.functional import ExecutionProfile
 from ..workloads.kernels import Kernel
 from ..workloads.suite import WorkloadMix, compile_kernel
+
+#: measurement engines understood by Evaluator.
+EVALUATION_ENGINES = ("cycle", "compiled")
 
 
 @dataclass
@@ -107,11 +129,17 @@ class Evaluator:
     """Compiles and measures workload mixes on candidate machines."""
 
     def __init__(self, mix: WorkloadMix, size: Optional[int] = None,
-                 opt_level: int = 3, seed: int = 1234) -> None:
+                 opt_level: int = 3, seed: int = 1234,
+                 engine: str = "cycle") -> None:
+        if engine not in EVALUATION_ENGINES:
+            raise ValueError(
+                f"unknown engine '{engine}'; options: "
+                f"{', '.join(EVALUATION_ENGINES)}")
         self.mix = mix
         self.size = size
         self.opt_level = opt_level
         self.seed = seed
+        self.engine = engine
         # Pre-compile the machine-independent IR once per kernel.
         self._modules = {}
         for kernel, weight in mix.kernels():
@@ -165,19 +193,26 @@ class Evaluator:
                 expected = kernel.expected(args)
                 try:
                     compiled, report = compile_module(module, working_machine)
-                    simulator = CycleSimulator(compiled)
                     run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
-                    result = simulator.run(kernel.entry, *run_args)
-                    evaluation.measurements.append(KernelMeasurement(
-                        kernel=kernel.name,
-                        weight=weight,
-                        cycles=result.cycles,
-                        correct=(result.value == expected),
-                        energy_uj=result.energy_uj,
-                        code_bytes=(report.code.bytes_effective
-                                    if report.code is not None else 0),
-                        ipc=result.stats.ipc,
-                    ))
+                    code_bytes = (report.code.bytes_effective
+                                  if report.code is not None else 0)
+                    if self.engine == "compiled":
+                        measurement = self._measure_compiled(
+                            kernel, weight, module, compiled, working_machine,
+                            run_args, expected, code_bytes)
+                    else:
+                        simulator = CycleSimulator(compiled)
+                        result = simulator.run(kernel.entry, *run_args)
+                        measurement = KernelMeasurement(
+                            kernel=kernel.name,
+                            weight=weight,
+                            cycles=result.cycles,
+                            correct=(result.value == expected),
+                            energy_uj=result.energy_uj,
+                            code_bytes=code_bytes,
+                            ipc=result.stats.ipc,
+                        )
+                    evaluation.measurements.append(measurement)
                 except Exception:  # noqa: BLE001 - infeasible point
                     evaluation.measurements.append(KernelMeasurement(
                         kernel=kernel.name, weight=weight, cycles=0,
@@ -188,3 +223,82 @@ class Evaluator:
                 global_lib.remove(name)
 
         return evaluation
+
+    # ------------------------------------------------------------------
+    # Compiled (screening) engine: functional execution + static timing.
+    # ------------------------------------------------------------------
+    def _measure_compiled(self, kernel: Kernel, weight: float, module,
+                          compiled: CompiledModule, machine: MachineDescription,
+                          run_args: tuple, expected, code_bytes: int
+                          ) -> KernelMeasurement:
+        simulator = CompiledSimulator(module)
+        value = simulator.run(kernel.entry, *run_args)
+        cycles, energy_uj, ipc = reduce_schedule_timing(
+            compiled, machine, simulator.profile)
+        return KernelMeasurement(
+            kernel=kernel.name, weight=weight, cycles=cycles,
+            correct=(value == expected), energy_uj=energy_uj,
+            code_bytes=code_bytes, ipc=ipc,
+        )
+
+
+def reduce_schedule_timing(compiled: CompiledModule,
+                           machine: MachineDescription,
+                           profile: ExecutionProfile
+                           ) -> Tuple[int, float, float]:
+    """Reduce a dynamic profile over a static schedule to (cycles, uJ, ipc).
+
+    Mirrors the cycle simulator's accounting exactly except for the cache
+    models: cycles are block schedule lengths weighted by measured visit
+    counts, plus the fixed call overhead per activation and the branch
+    penalty per taken control transfer; energy is charged per scheduled
+    operation (weighted the same way) plus static energy per cycle.
+    """
+    opcode_counts = profile.opcode_counts
+    calls = 1 + sum(profile.call_counts.values())
+    cycles = CycleSimulator.CALL_OVERHEAD * calls
+    taken = (profile.taken_branches
+             + opcode_counts.get(Opcode.JUMP.value, 0)
+             + opcode_counts.get(Opcode.CALL.value, 0)
+             + opcode_counts.get(Opcode.RETURN.value, 0))
+    cycles += machine.branch_penalty * taken
+
+    energy = EnergyModel(machine)
+    operations = 0
+    overhead_ops = 0
+    dynamic_pj = 0.0
+    from ..core.library import global_extension_library
+
+    library = global_extension_library()
+    for function in compiled:
+        visit_counts = profile.block_counts.get(function.name)
+        if not visit_counts:
+            continue
+        for block in function.blocks:
+            visits = visit_counts.get(block.name, 0)
+            if not visits:
+                continue
+            cycles += visits * block.cycles
+            for bundle in block.bundles:
+                for op in bundle.ops:
+                    operations += visits
+                    # Per-op energy exactly as the cycle simulator charges
+                    # it, scaled by the measured visit count.
+                    if op.is_spill:
+                        overhead_ops += visits
+                        pj = operation_pj(OperationClass.MEM)
+                    elif op.is_copy:
+                        overhead_ops += visits
+                        pj = operation_pj(OperationClass.IALU)
+                    elif op.inst.opcode is Opcode.CUSTOM:
+                        entry = library.entry(op.inst.custom_op)
+                        fused = entry.operation.fused_ops if entry else 1
+                        pj = custom_pj(fused, len(op.inst.operands))
+                    else:
+                        pj = operation_pj(op.op_class,
+                                          len(op.inst.operands))
+                    dynamic_pj += visits * pj
+    energy.report.dynamic_pj += dynamic_pj
+    energy.charge_cycles(cycles)
+    ipc = 0.0 if cycles == 0 else (operations - overhead_ops) / cycles
+    return cycles, energy.report.total_uj, ipc

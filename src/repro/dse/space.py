@@ -43,6 +43,18 @@ class DesignPoint:
             parts.append(f"x{int(self.custom_area_budget)}")
         return "-".join(parts)
 
+    def cache_key(self) -> str:
+        """Canonical key covering *every* axis.
+
+        Unlike :meth:`name` (a display label that omits latencies and the
+        encoding choice), this key distinguishes any two points that could
+        evaluate differently; the explorer and the batch evaluator dedupe
+        and memoize by it.
+        """
+        return (f"{self.name()}|lat{self.mul_latency}.{self.mem_latency}"
+                f"|enc{int(self.compressed_encoding)}"
+                f"|x{self.custom_area_budget:g}")
+
     def to_machine(self) -> MachineDescription:
         """Instantiate the machine description for this point."""
         units = [

@@ -1,0 +1,35 @@
+"""Compiled execution: threaded-code translation, code caching, batching.
+
+This package is the performance tier of the simulation stack:
+
+* :mod:`repro.exec.translator` — pre-translates IR basic blocks into
+  specialized Python closures (threaded code);
+* :mod:`repro.exec.engine` — :class:`CompiledSimulator`, a drop-in for
+  :class:`repro.sim.FunctionalSimulator` with identical results/profiles;
+* :mod:`repro.exec.cache` — a content-addressed code cache so structurally
+  identical modules are translated once;
+* :mod:`repro.exec.batch` — :class:`BatchEvaluator`, parallel and
+  persistently cached design-point evaluation for the explorer.
+
+Engine selection: everything that runs functional simulation accepts an
+``engine`` argument, either ``"interpreter"`` (reference oracle) or
+``"compiled"`` (this package); see :func:`make_functional_simulator`.
+"""
+
+from .batch import BatchEvaluator, BatchStats, EvaluatorSpec
+from .cache import (
+    CodeCache, CodeCacheStats, global_code_cache, module_fingerprint,
+    reset_global_code_cache,
+)
+from .engine import (
+    FUNCTIONAL_ENGINES, CompiledSimulator, make_functional_simulator,
+)
+from .translator import TranslatedProgram, translate_module
+
+__all__ = [
+    "BatchEvaluator", "BatchStats", "EvaluatorSpec",
+    "CodeCache", "CodeCacheStats", "global_code_cache",
+    "module_fingerprint", "reset_global_code_cache",
+    "FUNCTIONAL_ENGINES", "CompiledSimulator", "make_functional_simulator",
+    "TranslatedProgram", "translate_module",
+]

@@ -1,0 +1,233 @@
+"""Batched design-space evaluation with a persistent result cache.
+
+The explorer's inner loop — compile a candidate machine's workload, run
+it, reduce to metrics — is embarrassingly parallel across design points
+and completely deterministic given the evaluator configuration.
+:class:`BatchEvaluator` exploits both properties:
+
+* **batching** — ``evaluate_many`` deduplicates the requested points and
+  fans the misses out over a process pool (``workers > 1``) or evaluates
+  them serially in-process (``workers <= 1``, the default: cheap, no pool
+  startup, still cached);
+* **caching** — results are memoized in memory and, when ``cache_dir`` is
+  given, pickled to disk keyed by a SHA-256 of the full evaluation recipe
+  (workload mix, problem size, optimization level, seed, engine, design
+  point), so repeated explorations of the same space are nearly free even
+  across processes.
+
+Worker processes are primed by fork inheritance when the platform allows
+it (the parent's evaluator, with its pre-compiled kernel IR, is reused
+copy-on-write); under spawn they rebuild the evaluator from a primitive
+spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..dse.space import DesignPoint
+
+#: bump when the evaluation recipe changes incompatibly.
+_CACHE_SCHEMA = 1
+
+#: evaluator inherited by forked workers (see _initialize_worker).
+_WORKER_EVALUATOR = None
+
+#: serializes the set-global -> fork window so concurrent BatchEvaluators
+#: cannot hand a worker pool the wrong evaluator.
+_FORK_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """Primitive, picklable recipe for rebuilding an Evaluator in a worker."""
+
+    mix_name: str
+    weights: tuple            # ((kernel, weight), ...) sorted
+    size: Optional[int]
+    opt_level: int
+    seed: int
+    engine: str
+
+    @staticmethod
+    def from_evaluator(evaluator) -> "EvaluatorSpec":
+        return EvaluatorSpec(
+            mix_name=evaluator.mix.name,
+            weights=tuple(sorted(evaluator.mix.weights.items())),
+            size=evaluator.size,
+            opt_level=evaluator.opt_level,
+            seed=evaluator.seed,
+            engine=getattr(evaluator, "engine", "cycle"),
+        )
+
+    def build(self):
+        from ..dse.objectives import Evaluator
+        from ..workloads.suite import WorkloadMix
+
+        mix = WorkloadMix(self.mix_name, dict(self.weights))
+        return Evaluator(mix, size=self.size, opt_level=self.opt_level,
+                         seed=self.seed, engine=self.engine)
+
+
+def _initialize_worker(spec: EvaluatorSpec) -> None:
+    global _WORKER_EVALUATOR
+    if _WORKER_EVALUATOR is None:
+        _WORKER_EVALUATOR = spec.build()
+
+
+def _evaluate_point(point: DesignPoint):
+    return _WORKER_EVALUATOR.evaluate(
+        point.to_machine(), custom_area_budget=point.custom_area_budget)
+
+
+@dataclass
+class BatchStats:
+    """What one BatchEvaluator did so far."""
+
+    requested: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    evaluated: int = 0
+    batches: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return 0.0 if self.requested == 0 else self.hits / self.requested
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"requested": self.requested, "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits, "evaluated": self.evaluated,
+                "batches": self.batches, "hit_rate": round(self.hit_rate, 4)}
+
+
+class BatchEvaluator:
+    """Evaluates design points in parallel with persistent memoization."""
+
+    def __init__(self, evaluator, workers: int = 0,
+                 cache_dir: Optional[str] = None) -> None:
+        self.evaluator = evaluator
+        self.workers = workers
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+        self.spec = EvaluatorSpec.from_evaluator(evaluator)
+        self.stats = BatchStats()
+        self._memory: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Cache keys.
+    # ------------------------------------------------------------------
+    def point_key(self, point: DesignPoint) -> str:
+        """Content hash of the full evaluation recipe for ``point``."""
+        recipe = (_CACHE_SCHEMA, self.spec.mix_name, self.spec.weights,
+                  self.spec.size, self.spec.opt_level, self.spec.seed,
+                  self.spec.engine, point.cache_key())
+        return hashlib.sha256(repr(recipe).encode("utf-8")).hexdigest()
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _load_disk(self, key: str):
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # noqa: BLE001 - treat a corrupt entry as a miss
+            return None
+
+    def _store_disk(self, key: str, evaluation) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(evaluation, handle)
+            os.replace(tmp, path)
+        except Exception:  # noqa: BLE001 - the cache is best effort
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+    def evaluate(self, point: DesignPoint):
+        """Evaluate one point through every cache layer."""
+        return self.evaluate_many([point])[0]
+
+    def evaluate_many(self, points: Sequence[DesignPoint]) -> List:
+        """Evaluate ``points`` (order preserved, duplicates deduplicated)."""
+        self.stats.batches += 1
+        self.stats.requested += len(points)
+
+        keys = [self.point_key(point) for point in points]
+        missing: Dict[str, DesignPoint] = {}
+        for key, point in zip(keys, points):
+            if key in self._memory:
+                self.stats.memory_hits += 1
+                continue
+            if key in missing:
+                self.stats.memory_hits += 1
+                continue
+            cached = self._load_disk(key)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._memory[key] = cached
+                continue
+            missing[key] = point
+
+        if missing:
+            evaluated = self._evaluate_missing(list(missing.items()))
+            for key, evaluation in evaluated:
+                self._memory[key] = evaluation
+                self._store_disk(key, evaluation)
+            self.stats.evaluated += len(evaluated)
+
+        return [self._memory[key] for key in keys]
+
+    def _evaluate_missing(self, items):
+        """items: list of (key, point) pairs not found in any cache."""
+        if self.workers <= 1 or len(items) < 2:
+            return [(key, self.evaluator.evaluate(
+                point.to_machine(),
+                custom_area_budget=point.custom_area_budget))
+                for key, point in items]
+
+        global _WORKER_EVALUATOR
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(method)
+        workers = min(self.workers, len(items))
+        # The global only matters at fork time: hold the lock from setting
+        # it until the pool's workers exist, then restore it.
+        with _FORK_LOCK:
+            if method == "fork":
+                # Children inherit the parent's evaluator (pre-compiled
+                # kernel IR included) copy-on-write; no recompilation.
+                _WORKER_EVALUATOR = self.evaluator
+            try:
+                pool = context.Pool(processes=workers,
+                                    initializer=_initialize_worker,
+                                    initargs=(self.spec,))
+            finally:
+                if method == "fork":
+                    _WORKER_EVALUATOR = None
+        with pool:
+            evaluations = pool.map(_evaluate_point,
+                                   [point for _key, point in items])
+        return [(key, evaluation)
+                for (key, _point), evaluation in zip(items, evaluations)]

@@ -1,0 +1,185 @@
+"""Compiled-execution engine: a drop-in for the functional interpreter.
+
+:class:`CompiledSimulator` exposes the same ``run`` / ``run_profiled`` /
+``profile`` contract as :class:`repro.sim.FunctionalSimulator` but executes
+threaded code produced by :mod:`repro.exec.translator` and cached by
+:mod:`repro.exec.cache`.  On successful runs it produces bit-identical
+return values, memory write-backs and :class:`ExecutionProfile` counters;
+the interpreter remains the semantic oracle and the differential tests in
+``tests/test_exec_engine.py`` enforce the equivalence over the whole
+workload suite.
+
+Engine selection elsewhere in the stack (``Toolchain(engine=...)``,
+``Evaluator(engine=...)``, ``run_kernel(engine=...)``) resolves through
+:func:`make_functional_simulator`, so "interpreter" and "compiled" are the
+two interchangeable functional-execution engines.
+
+Known, deliberate divergences from the interpreter (error paths only):
+
+* the maximum-step check runs per basic block, not per instruction, so a
+  runaway program may be stopped a few instructions earlier;
+* a read of an undefined virtual register raises :class:`SimulationError`
+  without naming the register (the interpreter formats the IR node);
+* profiles are flushed per completed call, so a run aborted by an exception
+  reports whole-block counts for the faulting block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Module, PointerType
+from ..ir.types import I32
+from ..sim.functional import ExecutionProfile, SimulationError, _wrap
+from ..sim.memory import Memory, ProgramImage
+from .cache import CodeCache, global_code_cache
+from .translator import TranslatedFunction, TranslatedProgram
+
+
+class CompiledSimulator:
+    """Executes translated (threaded-code) modules with a flat memory."""
+
+    def __init__(self, module: Module, memory_size: int = 1 << 20,
+                 max_steps: int = 50_000_000,
+                 cache: Optional[CodeCache] = None) -> None:
+        self.module = module
+        self.cache = cache if cache is not None else global_code_cache()
+        self.program: TranslatedProgram = self.cache.get_or_translate(module)
+        # ProgramImage performs the same deterministic bump allocation the
+        # translator baked into the code, so the global addresses it assigns
+        # to *this* module match the translated constants.
+        self.image = ProgramImage(module, Memory(memory_size))
+        self.memory = self.image.memory
+        self.max_steps = max_steps
+        self.profile = ExecutionProfile()
+        self._steps = 0
+        self._retval = None
+
+    # ------------------------------------------------------------------
+    # Public API (mirrors FunctionalSimulator).
+    # ------------------------------------------------------------------
+    def run(self, function_name: str, *args, copy_back: bool = True):
+        """Execute ``function_name`` with Python arguments.
+
+        Same argument lowering as the interpreter: numbers by value, lists
+        and tuples copied into simulated memory and passed as pointers,
+        with list contents copied back after the call unless ``copy_back``
+        is False.
+        """
+        try:
+            function = self.program.functions[function_name]
+        except KeyError:
+            raise KeyError(f"no function named {function_name} in module "
+                           f"{self.module.name}") from None
+        if len(args) != len(function.arg_ids):
+            raise SimulationError(
+                f"{function_name} expects {len(function.arg_ids)} arguments, "
+                f"got {len(args)}"
+            )
+
+        lowered = []
+        writebacks = []
+        for formal_type, actual in zip(function.arg_types, args):
+            if isinstance(actual, (list, tuple)):
+                element = I32
+                if isinstance(formal_type, PointerType) and formal_type.pointee is not None:
+                    element = formal_type.pointee
+                address = self.memory.allocate(max(4, element.size * len(actual)),
+                                               element.alignment)
+                self.memory.write_array(address, list(actual), element)
+                lowered.append(address)
+                if copy_back and isinstance(actual, list):
+                    writebacks.append((actual, address, len(actual), element))
+            else:
+                lowered.append(_wrap(actual, formal_type))
+
+        result = self._call(function, lowered)
+
+        for target, address, count, element in writebacks:
+            target[:] = self.memory.read_array(address, count, element)
+        return result
+
+    def run_profiled(self, function_name: str, *args):
+        """Run and then write the measured profile back onto the module."""
+        result = self.run(function_name, *args)
+        self.profile.apply_to_module(self.module)
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution core.
+    # ------------------------------------------------------------------
+    def _call(self, function: TranslatedFunction, args):
+        regs = {}
+        for reg_id, value in zip(function.arg_ids, args):
+            regs[reg_id] = value
+
+        blocks = function.blocks
+        if not blocks:
+            raise SimulationError(f"function {function.name} has no blocks")
+        visits = [0] * len(blocks)
+        index = 0
+        try:
+            while True:
+                block = blocks[index]
+                visits[index] += 1
+                self._steps += block.n_steps
+                if self._steps > self.max_steps:
+                    raise SimulationError("maximum step count exceeded")
+                for op in block.ops:
+                    op(regs, self)
+                index = block.terminator(regs, self)
+                if index is None:
+                    break
+        except KeyError:
+            raise SimulationError(
+                f"read of undefined register in {function.name}") from None
+        finally:
+            self._flush(function, visits)
+        result = self._retval
+        self._retval = None
+        return result
+
+    def _flush(self, function: TranslatedFunction, visits) -> None:
+        """Fold per-block visit counts into the execution profile."""
+        profile = self.profile
+        block_counts = profile.block_counts.setdefault(function.name, {})
+        opcode_counts = profile.opcode_counts
+        call_counts = profile.call_counts
+        for block, count in zip(function.blocks, visits):
+            if not count:
+                continue
+            block_counts[block.name] = block_counts.get(block.name, 0) + count
+            profile.instructions_executed += count * block.n_steps
+            for opcode, per_visit in block.opcode_delta.items():
+                opcode_counts[opcode] = (
+                    opcode_counts.get(opcode, 0) + count * per_visit)
+            profile.loads += count * block.loads
+            profile.stores += count * block.stores
+            profile.branches += count * block.branches
+            for callee, per_visit in block.call_delta.items():
+                call_counts[callee] = (
+                    call_counts.get(callee, 0) + count * per_visit)
+
+
+#: engine registry used by the selector plumbing across the stack.
+FUNCTIONAL_ENGINES = ("interpreter", "compiled")
+
+
+def make_functional_simulator(module: Module, engine: str = "interpreter",
+                              **kwargs):
+    """Build the requested functional-execution engine for ``module``.
+
+    ``engine`` is ``"interpreter"`` (the reference
+    :class:`~repro.sim.FunctionalSimulator`) or ``"compiled"`` (this
+    module's :class:`CompiledSimulator`).  Both expose the same
+    ``run``/``run_profiled``/``profile`` contract.
+    """
+    if engine == "interpreter":
+        from ..sim.functional import FunctionalSimulator
+
+        kwargs.pop("cache", None)
+        return FunctionalSimulator(module, **kwargs)
+    if engine == "compiled":
+        return CompiledSimulator(module, **kwargs)
+    raise ValueError(
+        f"unknown engine '{engine}'; options: {', '.join(FUNCTIONAL_ENGINES)}")

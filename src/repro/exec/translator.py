@@ -1,0 +1,555 @@
+"""Threaded-code translation of IR modules.
+
+The functional interpreter (:class:`repro.sim.FunctionalSimulator`) pays a
+large constant cost per executed instruction: a long ``if/elif`` chain over
+:class:`~repro.ir.Opcode`, an ``isinstance`` chain per operand, and several
+profile dictionary updates.  This module removes all of that cost *once, at
+translation time*: every basic block is pre-translated into a tuple of
+specialized Python closures (classic threaded code).  Operand accessors are
+resolved when the closure is built — constants and global addresses are
+baked in as Python values, register reads become a single dict index — and
+the opcode dispatch disappears entirely because each closure *is* its
+opcode's semantics.
+
+Profile accounting is hoisted out of the hot loop: within one basic block
+the instruction sequence is static, so the per-visit profile contribution
+(instruction count, opcode histogram, loads/stores/branches, call counts)
+is a constant computed at translation time.  The engine counts block
+*visits* during execution and multiplies the deltas in at call exit, which
+reproduces the interpreter's :class:`~repro.sim.functional.ExecutionProfile`
+exactly; only taken-branch counts are data dependent and are recorded at
+run time by the branch terminators.
+
+CUSTOM (ISA-extension) operations are bound from the extension library at
+translation time: the pattern's ``evaluate`` is captured directly in the
+closure.  If a custom op is not registered when translation happens, a lazy
+closure that re-checks the library on every execution is emitted instead,
+matching the interpreter's late-binding behaviour.
+
+The translated program is an immutable snapshot: it captures values (not
+live IR nodes) wherever later passes could mutate the module, so a cached
+:class:`TranslatedProgram` stays valid even if its source module is
+rewritten afterwards (the rewrite changes the module's fingerprint and
+therefore misses the code cache).
+"""
+
+from __future__ import annotations
+
+import operator
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir import (
+    Argument, Constant, Function, GlobalVariable, Instruction, IntType, Module,
+    Opcode, PointerType, UndefValue, VirtualRegister,
+)
+from ..ir.types import FloatType, I32, Type
+from ..sim.functional import SimulationError
+from ..sim.memory import Memory
+
+
+# ----------------------------------------------------------------------
+# Operand accessors.
+# ----------------------------------------------------------------------
+
+#: accessor kinds: ('k', value) for translation-time constants,
+#: ('r', reg_id) for register reads.
+_Access = Tuple[str, object]
+
+
+def _wrap_fn(type_: Type) -> Callable:
+    """A wrap function matching :func:`repro.sim.functional._wrap` for ``type_``."""
+    if isinstance(type_, IntType):
+        # Inlined IntType.wrap(int(value)): the int() coercion matters — the
+        # interpreter truncates a float landing in an int destination.
+        mask = (1 << type_.bits) - 1
+        if type_.signed:
+            sign_bit = 1 << (type_.bits - 1)
+            excess = 1 << type_.bits
+            def wrap_sint(value):
+                value = int(value) & mask
+                return value - excess if value >= sign_bit else value
+            return wrap_sint
+        def wrap_uint(value):
+            return int(value) & mask
+        return wrap_uint
+    if isinstance(type_, FloatType):
+        if type_.bits == 32:
+            def wrap_f32(value):
+                return struct.unpack("<f", struct.pack("<f", float(value)))[0]
+            return wrap_f32
+        return float
+    if isinstance(type_, PointerType):
+        def wrap_ptr(value):
+            return int(value) & 0xFFFFFFFF
+        return wrap_ptr
+    def wrap_id(value):
+        return value
+    return wrap_id
+
+
+def _getter(access: _Access) -> Callable:
+    """Turn an accessor descriptor into a callable ``regs -> value``."""
+    kind, ref = access
+    if kind == "k":
+        def get_const(regs, _v=ref):
+            return _v
+        return get_const
+    def get_reg(regs, _i=ref):
+        return regs[_i]
+    return get_reg
+
+
+# ----------------------------------------------------------------------
+# Opcode semantics, expressed as plain binary/unary Python functions that
+# mirror FunctionalSimulator._execute case by case.
+# ----------------------------------------------------------------------
+
+def _div(a, b):
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _rem(a, b):
+    if b == 0:
+        raise SimulationError("integer remainder by zero")
+    quotient = abs(a) // abs(b)
+    signed_q = quotient if (a >= 0) == (b >= 0) else -quotient
+    return a - signed_q * b
+
+
+def _fdiv(a, b):
+    if b == 0:
+        raise SimulationError("floating division by zero")
+    return a / b
+
+
+_BINARY_SEMANTICS: Dict[Opcode, Callable] = {
+    Opcode.ADD: operator.add,
+    Opcode.SUB: operator.sub,
+    Opcode.MUL: operator.mul,
+    Opcode.DIV: _div,
+    Opcode.REM: _rem,
+    Opcode.AND: operator.and_,
+    Opcode.OR: operator.or_,
+    Opcode.XOR: operator.xor,
+    Opcode.SHL: lambda a, b: a << (b & 31),
+    Opcode.SHR: lambda a, b: (a & 0xFFFFFFFF) >> (b & 31),
+    Opcode.SAR: lambda a, b: a >> (b & 31),
+    Opcode.MIN: lambda a, b: min(a, b),
+    Opcode.MAX: lambda a, b: max(a, b),
+    Opcode.FADD: operator.add,
+    Opcode.FSUB: operator.sub,
+    Opcode.FMUL: operator.mul,
+    Opcode.FDIV: _fdiv,
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.FCMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPNE: lambda a, b: int(a != b),
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.FCMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+    Opcode.FCMPLE: lambda a, b: int(a <= b),
+    Opcode.CMPGT: lambda a, b: int(a > b),
+    Opcode.CMPGE: lambda a, b: int(a >= b),
+}
+
+_UNARY_SEMANTICS: Dict[Opcode, Callable] = {
+    Opcode.MOV: lambda a: a,
+    Opcode.ABS: abs,
+    Opcode.NEG: operator.neg,
+    Opcode.NOT: operator.invert,
+    Opcode.FNEG: operator.neg,
+    Opcode.SEXT: lambda a: a,
+    Opcode.ZEXT: lambda a: a,
+    Opcode.TRUNC: lambda a: a,
+    Opcode.ITOF: float,
+    Opcode.FTOI: int,
+}
+
+
+# ----------------------------------------------------------------------
+# Translated containers.
+# ----------------------------------------------------------------------
+
+class TranslatedBlock:
+    """One basic block as threaded code plus its static profile delta."""
+
+    __slots__ = ("name", "ops", "terminator", "n_steps", "opcode_delta",
+                 "loads", "stores", "branches", "call_delta")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ops: Tuple[Callable, ...] = ()
+        self.terminator: Callable = None  # type: ignore[assignment]
+        #: instructions executed per visit (including the terminator).
+        self.n_steps = 0
+        #: opcode histogram contribution per visit.
+        self.opcode_delta: Dict[str, int] = {}
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        #: static calls issued per visit, keyed by callee name.
+        self.call_delta: Dict[str, int] = {}
+
+
+class TranslatedFunction:
+    """A function translated to threaded code."""
+
+    __slots__ = ("name", "arg_ids", "arg_types", "blocks", "source")
+
+    def __init__(self, function: Function) -> None:
+        self.name = function.name
+        self.arg_ids = tuple(a.id for a in function.arguments)
+        self.arg_types = tuple(a.type for a in function.arguments)
+        self.blocks: List[TranslatedBlock] = []
+        #: source IR function (used only for argument lowering / errors).
+        self.source = function
+
+
+class GlobalSlot:
+    """Deterministic load address of one module global."""
+
+    __slots__ = ("name", "address", "value_type", "initializer")
+
+    def __init__(self, name: str, address: int, value_type: Type,
+                 initializer) -> None:
+        self.name = name
+        self.address = address
+        self.value_type = value_type
+        # Snapshot list initializers so later module mutation cannot leak
+        # into a cached program.
+        self.initializer = (list(initializer)
+                            if isinstance(initializer, (list, tuple))
+                            else initializer)
+
+
+class TranslatedProgram:
+    """An immutable compiled snapshot of one module."""
+
+    __slots__ = ("module_name", "functions", "globals_layout", "data_break",
+                 "fingerprint", "static_instructions")
+
+    def __init__(self, module_name: str) -> None:
+        self.module_name = module_name
+        self.functions: Dict[str, TranslatedFunction] = {}
+        self.globals_layout: List[GlobalSlot] = []
+        #: first free memory address after the globals are loaded.
+        self.data_break = Memory.GUARD
+        self.fingerprint: Optional[str] = None
+        self.static_instructions = 0
+
+
+# ----------------------------------------------------------------------
+# The translator.
+# ----------------------------------------------------------------------
+
+class ModuleTranslator:
+    """Translates one module; use :func:`translate_module` for the one-shot API."""
+
+    def __init__(self, module: Module, library=None) -> None:
+        from ..core.library import global_extension_library
+
+        self.module = module
+        self.library = library if library is not None else global_extension_library()
+        self.program = TranslatedProgram(module.name)
+
+    # ------------------------------------------------------------------
+    def translate(self) -> TranslatedProgram:
+        self._layout_globals()
+        # Two passes so CALL closures can capture callee TranslatedFunctions
+        # even for mutual recursion.
+        for function in self.module.functions.values():
+            self.program.functions[function.name] = TranslatedFunction(function)
+        for function in self.module.functions.values():
+            self._translate_function(function)
+        return self.program
+
+    # ------------------------------------------------------------------
+    def _layout_globals(self) -> None:
+        """Replicate ProgramImage's deterministic bump allocation."""
+        cursor = Memory.GUARD
+        for name, gvar in self.module.globals.items():
+            vtype = gvar.value_type
+            alignment = vtype.alignment
+            nbytes = max(4, vtype.size)
+            address = (cursor + alignment - 1) // alignment * alignment
+            cursor = address + nbytes
+            self.program.globals_layout.append(
+                GlobalSlot(name, address, vtype, gvar.initializer))
+        self.program.data_break = cursor
+        self._global_addresses = {slot.name: slot.address
+                                  for slot in self.program.globals_layout}
+
+    # ------------------------------------------------------------------
+    def _access(self, operand) -> _Access:
+        """Resolve an operand to a translation-time accessor."""
+        if isinstance(operand, Constant):
+            return ("k", operand.value)
+        if isinstance(operand, GlobalVariable):
+            try:
+                return ("k", self._global_addresses[operand.name])
+            except KeyError:
+                raise SimulationError(
+                    f"global {operand.name} has no address") from None
+        if isinstance(operand, UndefValue):
+            return ("k", 0)
+        if isinstance(operand, (VirtualRegister, Argument)):
+            return ("r", operand.id)
+        raise SimulationError(f"cannot evaluate operand {operand!r}")
+
+    # ------------------------------------------------------------------
+    def _translate_function(self, function: Function) -> None:
+        translated = self.program.functions[function.name]
+        index_of = {id(block): i for i, block in enumerate(function.blocks)}
+        for block in function.blocks:
+            tblock = TranslatedBlock(block.name)
+            ops: List[Callable] = []
+            for inst in block.instructions:
+                tblock.n_steps += 1
+                key = inst.opcode.value
+                tblock.opcode_delta[key] = tblock.opcode_delta.get(key, 0) + 1
+                if inst.is_terminator():
+                    tblock.terminator = self._translate_terminator(
+                        inst, index_of, function, block)
+                    if inst.opcode is Opcode.BRANCH:
+                        tblock.branches += 1
+                    break
+                ops.append(self._translate_instruction(inst, tblock))
+            else:
+                # No terminator: fail at run time exactly like the interpreter.
+                block_name, function_name = block.name, function.name
+                def fall_off(regs, ctx, _b=block_name, _f=function_name):
+                    raise SimulationError(
+                        f"fell off the end of block {_b} in {_f}")
+                tblock.terminator = fall_off
+            tblock.ops = tuple(ops)
+            self.program.static_instructions += tblock.n_steps
+            translated.blocks.append(tblock)
+
+    # ------------------------------------------------------------------
+    def _translate_terminator(self, inst: Instruction, index_of,
+                              function: Function, block) -> Callable:
+        op = inst.opcode
+        if op is Opcode.JUMP:
+            target = index_of[id(inst.targets[0])]
+            def do_jump(regs, ctx, _t=target):
+                return _t
+            return do_jump
+        if op is Opcode.BRANCH:
+            t_index = index_of[id(inst.targets[0])]
+            f_index = index_of[id(inst.targets[1])]
+            kind, ref = self._access(inst.operands[0])
+            if kind == "r":
+                def do_branch(regs, ctx, _c=ref, _t=t_index, _f=f_index):
+                    if regs[_c]:
+                        ctx.profile.taken_branches += 1
+                        return _t
+                    return _f
+                return do_branch
+            taken = bool(ref)
+            target = t_index if taken else f_index
+            def do_const_branch(regs, ctx, _taken=taken, _t=target):
+                if _taken:
+                    ctx.profile.taken_branches += 1
+                return _t
+            return do_const_branch
+        if op is Opcode.RETURN:
+            if inst.operands:
+                get = _getter(self._access(inst.operands[0]))
+                def do_return(regs, ctx, _g=get):
+                    ctx._retval = _g(regs)
+                    return None
+                return do_return
+            def do_return_void(regs, ctx):
+                ctx._retval = None
+                return None
+            return do_return_void
+        raise SimulationError(f"unexpected terminator {op}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _translate_instruction(self, inst: Instruction,
+                               tblock: TranslatedBlock) -> Callable:
+        op = inst.opcode
+
+        if op in _BINARY_SEMANTICS:
+            return self._build_binary(inst, _BINARY_SEMANTICS[op])
+        if op in _UNARY_SEMANTICS:
+            return self._build_unary(inst, _UNARY_SEMANTICS[op])
+
+        if op is Opcode.SELECT:
+            get_c = _getter(self._access(inst.operands[0]))
+            get_t = _getter(self._access(inst.operands[1]))
+            get_f = _getter(self._access(inst.operands[2]))
+            dest = inst.dest.id
+            wrap = _wrap_fn(inst.dest.type)
+            def do_select(regs, ctx, _c=get_c, _t=get_t, _f=get_f,
+                          _d=dest, _w=wrap):
+                regs[_d] = _w(_t(regs) if _c(regs) else _f(regs))
+            return do_select
+
+        if op is Opcode.LOAD:
+            tblock.loads += 1
+            dest = inst.dest.id
+            dtype = inst.dest.type
+            wrap = _wrap_fn(dtype)
+            kind, ref = self._access(inst.operands[0])
+            if kind == "r":
+                def do_load(regs, ctx, _a=ref, _d=dest, _t=dtype, _w=wrap):
+                    regs[_d] = _w(ctx.memory.load(int(regs[_a]), _t))
+                return do_load
+            address = int(ref)
+            def do_load_const(regs, ctx, _a=address, _d=dest, _t=dtype, _w=wrap):
+                regs[_d] = _w(ctx.memory.load(_a, _t))
+            return do_load_const
+
+        if op is Opcode.STORE:
+            tblock.stores += 1
+            get_value = _getter(self._access(inst.operands[0]))
+            stype = inst.operands[0].type
+            kind, ref = self._access(inst.operands[1])
+            if kind == "r":
+                def do_store(regs, ctx, _v=get_value, _a=ref, _t=stype):
+                    ctx.memory.store(int(regs[_a]), _v(regs), _t)
+                return do_store
+            address = int(ref)
+            def do_store_const(regs, ctx, _v=get_value, _a=address, _t=stype):
+                ctx.memory.store(_a, _v(regs), _t)
+            return do_store_const
+
+        if op is Opcode.ALLOCA:
+            get_count = _getter(self._access(inst.operands[0]))
+            element = inst.alloc_type or I32
+            size, alignment = element.size, element.alignment
+            dest = inst.dest.id
+            wrap = _wrap_fn(inst.dest.type)
+            def do_alloca(regs, ctx, _n=get_count, _s=size, _al=alignment,
+                          _d=dest, _w=wrap):
+                regs[_d] = _w(ctx.memory.allocate(max(4, _s * int(_n(regs))), _al))
+            return do_alloca
+
+        if op is Opcode.CALL:
+            tblock.call_delta[inst.callee] = (
+                tblock.call_delta.get(inst.callee, 0) + 1)
+            return self._build_call(inst)
+
+        if op is Opcode.CUSTOM:
+            return self._build_custom(inst)
+
+        raise SimulationError(f"unimplemented opcode {op}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _build_binary(self, inst: Instruction, fn: Callable) -> Callable:
+        (ak, av) = self._access(inst.operands[0])
+        (bk, bv) = self._access(inst.operands[1])
+        dest = inst.dest.id
+        wrap = _wrap_fn(inst.dest.type)
+        # Specialize the four operand-kind combinations so the hot path is a
+        # closure call plus dict indexing — no accessor indirection.
+        if ak == "r" and bk == "r":
+            def op_rr(regs, ctx, _a=av, _b=bv, _d=dest, _fn=fn, _w=wrap):
+                regs[_d] = _w(_fn(regs[_a], regs[_b]))
+            return op_rr
+        if ak == "r":
+            def op_rk(regs, ctx, _a=av, _b=bv, _d=dest, _fn=fn, _w=wrap):
+                regs[_d] = _w(_fn(regs[_a], _b))
+            return op_rk
+        if bk == "r":
+            def op_kr(regs, ctx, _a=av, _b=bv, _d=dest, _fn=fn, _w=wrap):
+                regs[_d] = _w(_fn(_a, regs[_b]))
+            return op_kr
+        def op_kk(regs, ctx, _a=av, _b=bv, _d=dest, _fn=fn, _w=wrap):
+            regs[_d] = _w(_fn(_a, _b))
+        return op_kk
+
+    def _build_unary(self, inst: Instruction, fn: Callable) -> Callable:
+        kind, ref = self._access(inst.operands[0])
+        dest = inst.dest.id
+        wrap = _wrap_fn(inst.dest.type)
+        if kind == "r":
+            def op_r(regs, ctx, _a=ref, _d=dest, _fn=fn, _w=wrap):
+                regs[_d] = _w(_fn(regs[_a]))
+            return op_r
+        def op_k(regs, ctx, _a=ref, _d=dest, _fn=fn, _w=wrap):
+            regs[_d] = _w(_fn(_a))
+        return op_k
+
+    def _build_call(self, inst: Instruction) -> Callable:
+        getters = tuple(_getter(self._access(a)) for a in inst.operands)
+        if self.module.has_function(inst.callee):
+            callee = self.program.functions[inst.callee]
+        else:
+            # Mirror Module.get_function's failure, but lazily: a module
+            # whose bad call is never executed must still run.
+            name, module_name = inst.callee, self.module.name
+            def do_bad_call(regs, ctx, _n=name, _m=module_name):
+                raise SimulationError(f"no function named {_n} in module {_m}")
+            return do_bad_call
+        if inst.dest is not None:
+            dest = inst.dest.id
+            wrap = _wrap_fn(inst.dest.type)
+            def do_call(regs, ctx, _g=getters, _f=callee, _d=dest, _w=wrap):
+                result = ctx._call(_f, [get(regs) for get in _g])
+                regs[_d] = _w(result if result is not None else 0)
+            return do_call
+        def do_void_call(regs, ctx, _g=getters, _f=callee):
+            ctx._call(_f, [get(regs) for get in _g])
+        return do_void_call
+
+    def _build_custom(self, inst: Instruction) -> Callable:
+        getters = tuple(_getter(self._access(a)) for a in inst.operands)
+        name = inst.custom_op
+        pattern = self.library.lookup(name)
+        dest = inst.dest.id if inst.dest is not None else None
+        wrap = _wrap_fn(inst.dest.type) if inst.dest is not None else None
+        if pattern is not None:
+            evaluate = pattern.evaluate
+            if dest is not None:
+                def do_custom(regs, ctx, _g=getters, _e=evaluate, _d=dest,
+                              _w=wrap, _n=name):
+                    inputs = [get(regs) for get in _g]
+                    # A KeyError escaping evaluate() must not be mistaken for
+                    # an undefined-register read by the engine's run loop.
+                    try:
+                        result = _e(inputs)
+                    except KeyError as exc:
+                        raise SimulationError(
+                            f"custom op {_n} raised KeyError: {exc}") from exc
+                    regs[_d] = _w(result)
+                return do_custom
+            def do_void_custom(regs, ctx, _g=getters, _e=evaluate, _n=name):
+                inputs = [get(regs) for get in _g]
+                try:
+                    _e(inputs)
+                except KeyError as exc:
+                    raise SimulationError(
+                        f"custom op {_n} raised KeyError: {exc}") from exc
+            return do_void_custom
+
+        # Late binding: the op may be registered between translation and run.
+        def do_lazy_custom(regs, ctx, _g=getters, _n=name, _d=dest, _w=wrap):
+            from ..core.library import global_extension_library
+
+            bound = global_extension_library().lookup(_n)
+            if bound is None:
+                raise SimulationError(
+                    f"custom op {_n} has no registered semantics")
+            inputs = [get(regs) for get in _g]
+            try:
+                result = bound.evaluate(inputs)
+            except KeyError as exc:
+                raise SimulationError(
+                    f"custom op {_n} raised KeyError: {exc}") from exc
+            if _d is not None:
+                regs[_d] = _w(result)
+        return do_lazy_custom
+
+
+def translate_module(module: Module, library=None) -> TranslatedProgram:
+    """Translate ``module`` into threaded code.
+
+    ``library`` defaults to the process-wide extension library; it supplies
+    the semantics of CUSTOM operations, bound at translation time.
+    """
+    return ModuleTranslator(module, library=library).translate()

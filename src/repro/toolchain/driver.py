@@ -61,11 +61,21 @@ class Toolchain:
 
     def __init__(self, machine: MachineDescription, opt_level: int = 2,
                  unroll_factor: int = 4,
-                 library: Optional[ExtensionLibrary] = None) -> None:
+                 library: Optional[ExtensionLibrary] = None,
+                 engine: str = "interpreter") -> None:
+        from ..exec.engine import FUNCTIONAL_ENGINES
+
+        if engine not in FUNCTIONAL_ENGINES:
+            raise ValueError(
+                f"unknown engine '{engine}'; options: "
+                f"{', '.join(FUNCTIONAL_ENGINES)}")
         self.machine = machine
         self.opt_level = opt_level
         self.unroll_factor = unroll_factor
         self.library = library if library is not None else global_extension_library()
+        #: functional-execution engine used by run_reference:
+        #: "interpreter" (reference oracle) or "compiled" (threaded code).
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Front end + optimizer.
@@ -98,8 +108,14 @@ class Toolchain:
         return simulator.run(entry, *args)
 
     def run_reference(self, module: Module, entry: str, *args):
-        """Run the functional reference simulator (machine independent)."""
-        simulator = FunctionalSimulator(module.clone())
+        """Run the functional simulator (machine independent).
+
+        Uses this toolchain's ``engine`` selection: the interpreter or the
+        compiled (threaded-code) engine — both produce identical results.
+        """
+        from ..exec.engine import make_functional_simulator
+
+        simulator = make_functional_simulator(module.clone(), engine=self.engine)
         return simulator.run(entry, *args)
 
     def compile_and_run(self, source: str, entry: str, *args,
@@ -134,7 +150,8 @@ class Toolchain:
                                       profile_entry=profile_entry,
                                       profile_args=profile_args)
         derived = Toolchain(result.machine, opt_level=self.opt_level,
-                            unroll_factor=self.unroll_factor, library=self.library)
+                            unroll_factor=self.unroll_factor,
+                            library=self.library, engine=self.engine)
         derived.last_customization = result  # type: ignore[attr-defined]
         return derived
 
@@ -144,7 +161,8 @@ class Toolchain:
     def retarget(self, machine: MachineDescription) -> "Toolchain":
         """The same toolchain pointed at a different family member."""
         return Toolchain(machine, opt_level=self.opt_level,
-                         unroll_factor=self.unroll_factor, library=self.library)
+                         unroll_factor=self.unroll_factor,
+                         library=self.library, engine=self.engine)
 
     def describe(self) -> str:
         return f"Toolchain for {self.machine.describe()} (O{self.opt_level})"

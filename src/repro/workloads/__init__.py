@@ -1,9 +1,13 @@
 """Embedded workload kernels and product-style workload mixes."""
 
 from .kernels import DOMAINS, KERNELS, Kernel, get_kernel
-from .suite import MIXES, WorkloadMix, compile_kernel, compile_suite, get_mix
+from .suite import (
+    MIXES, KernelRun, WorkloadMix, compile_kernel, compile_suite, get_mix,
+    run_kernel, validate_suite,
+)
 
 __all__ = [
     "DOMAINS", "KERNELS", "Kernel", "get_kernel",
-    "MIXES", "WorkloadMix", "compile_kernel", "compile_suite", "get_mix",
+    "MIXES", "KernelRun", "WorkloadMix", "compile_kernel", "compile_suite",
+    "get_mix", "run_kernel", "validate_suite",
 ]

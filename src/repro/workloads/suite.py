@@ -1,4 +1,11 @@
-"""Helpers for compiling and running the kernel suite."""
+"""Helpers for compiling and running the kernel suite.
+
+Kernel execution helpers (:func:`run_kernel`, :func:`validate_suite`)
+accept an ``engine`` argument — ``"interpreter"`` for the reference
+:class:`~repro.sim.FunctionalSimulator` or ``"compiled"`` for the
+threaded-code :class:`~repro.exec.CompiledSimulator` — and check results
+against each kernel's pure-Python oracle.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +27,53 @@ def compile_suite(names: Optional[Iterable[str]] = None) -> Dict[str, Module]:
     """Compile several kernels (all of them by default)."""
     selected = list(names) if names is not None else sorted(KERNELS)
     return {name: compile_kernel(name) for name in selected}
+
+
+@dataclass
+class KernelRun:
+    """Result of one functional kernel execution."""
+
+    kernel: str
+    engine: str
+    value: object
+    expected: object
+    instructions: int
+
+    @property
+    def correct(self) -> bool:
+        return self.value == self.expected
+
+
+def run_kernel(name: str, size: Optional[int] = None, seed: int = 1234,
+               opt_level: int = 2, engine: str = "interpreter") -> KernelRun:
+    """Compile, optimize and functionally execute one kernel.
+
+    The result is checked against the kernel's pure-Python oracle;
+    ``engine`` selects the interpreter or the compiled engine.
+    """
+    from ..exec.engine import make_functional_simulator
+    from ..opt import optimize
+
+    kernel = get_kernel(name)
+    module = compile_kernel(name)
+    optimize(module, level=opt_level)
+    args = kernel.arguments(size, seed=seed)
+    expected = kernel.expected(args)
+    simulator = make_functional_simulator(module, engine=engine)
+    run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+    value = simulator.run(kernel.entry, *run_args)
+    return KernelRun(kernel=name, engine=engine, value=value,
+                     expected=expected,
+                     instructions=simulator.profile.instructions_executed)
+
+
+def validate_suite(names: Optional[Iterable[str]] = None,
+                   engine: str = "interpreter", size: Optional[int] = None,
+                   seed: int = 1234) -> Dict[str, bool]:
+    """Run every selected kernel on ``engine``; map name -> oracle match."""
+    selected = list(names) if names is not None else sorted(KERNELS)
+    return {name: run_kernel(name, size=size, seed=seed, engine=engine).correct
+            for name in selected}
 
 
 @dataclass
