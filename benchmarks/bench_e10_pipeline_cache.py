@@ -1,0 +1,132 @@
+"""E10 — staged compilation: cold vs. warm design-space sweep compiles.
+
+PR 1 made *execution* fast; this benchmark measures what the staged
+compile pipeline (:mod:`repro.pipeline`) buys on the *compile* side of a
+design-space sweep.  A sweep over the latency/encoding axes compiles a
+slice of the kernel suite for every design point twice on one pipeline:
+
+* **cold** — an empty artifact store: every stage builds;
+* **warm** — the same sweep again: the machine-independent front half and
+  every backend artifact are served from the content-addressed store.
+
+The benchmark checks that warm builds are bit-identical to cold builds
+(binary words and bundle tables) and records per-stage hit rates.
+Results are written to ``BENCH_pipeline_cache.json`` at the repository
+root so the compile-path perf trajectory is tracked over time.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.dse import DesignSpace
+from repro.pipeline import CompilePipeline
+from repro.workloads import get_kernel
+
+from conftest import print_table, run_once
+
+#: kernels swept (a slice of the suite: small, medium, large IR).
+KERNEL_NAMES = ("dot_product", "fir_filter", "sad16")
+
+#: the sweep: latency and encoding axes only (machine-independent half
+#: must be compiled exactly once per kernel across all of it).
+SPACE = DesignSpace(
+    issue_widths=(2, 4),
+    register_counts=(32, 64),
+    cluster_counts=(1,),
+    mul_unit_counts=(1,),
+    mem_unit_counts=(1,),
+    mul_latencies=(1, 2, 3),
+    mem_latencies=(2, 3),
+    compression_options=(True, False),
+)
+
+OPT_LEVEL = 3
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline_cache.json"
+
+
+def _sweep(pipeline, kernels, machines):
+    """Compile+encode every kernel for every machine → (seconds, images)."""
+    images = {}
+    start = time.perf_counter()
+    for kernel in kernels:
+        for machine in machines:
+            _module, compiled, _report, key = pipeline.build(
+                kernel.source, machine, name=kernel.name,
+                opt_level=OPT_LEVEL)
+            images[(kernel.name, machine.name)] = pipeline.encode(
+                compiled, key)
+    return time.perf_counter() - start, images
+
+
+def test_e10_pipeline_cache_speedup(benchmark):
+    def experiment():
+        kernels = [get_kernel(name) for name in KERNEL_NAMES]
+        machines = [point.to_machine() for point in SPACE.points()]
+        pipeline = CompilePipeline()
+
+        cold_s, cold_images = _sweep(pipeline, kernels, machines)
+        warm_s, warm_images = _sweep(pipeline, kernels, machines)
+
+        identical = all(
+            cold_images[key].words == warm_images[key].words
+            and cold_images[key].bundle_table == warm_images[key].bundle_table
+            for key in cold_images
+        )
+
+        stage_stats = pipeline.stats()
+        rows = []
+        for stage in ("frontend", "optimize", "backend", "encode"):
+            stats = stage_stats.get(stage, {})
+            rows.append({
+                "stage": stage,
+                "misses": stats.get("misses", 0),
+                "hits": stats.get("hits", 0),
+                "hit_rate": stats.get("hit_rate", 0.0),
+                "built_ms": round(stats.get("seconds_built", 0.0) * 1e3, 2),
+                "saved_ms": round(stats.get("seconds_saved", 0.0) * 1e3, 2),
+            })
+        summary = {
+            "kernels": len(kernels),
+            "design_points": len(machines),
+            "compiles_per_sweep": len(kernels) * len(machines),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 2),
+            "bit_identical": identical,
+            "frontend_builds": stage_stats["frontend"]["misses"],
+            "optimize_builds": stage_stats["optimize"]["misses"],
+        }
+        return rows, summary
+
+    rows, summary = run_once(benchmark, experiment)
+    print_table("E10: staged pipeline, per-stage cache behaviour", rows)
+    print(
+        f"\nE10 summary: {summary['compiles_per_sweep']} compiles/sweep "
+        f"({summary['kernels']} kernels x {summary['design_points']} design "
+        f"points); cold {summary['cold_s'] * 1e3:.0f} ms, warm "
+        f"{summary['warm_s'] * 1e3:.0f} ms -> {summary['warm_speedup']}x; "
+        f"front half built {summary['optimize_builds']} time(s) total; "
+        f"bit-identical artifacts: {summary['bit_identical']}."
+    )
+
+    OUTPUT.write_text(json.dumps({
+        "experiment": "e10_pipeline_cache",
+        "python": platform.python_version(),
+        "opt_level": OPT_LEVEL,
+        "rows": rows,
+        "summary": summary,
+    }, indent=2) + "\n")
+    print(f"baseline written to {OUTPUT.name}")
+
+    # Acceptance: the machine-independent half compiles once per kernel,
+    # warm sweeps are >=3x faster, and artifacts are bit-identical.
+    assert summary["bit_identical"]
+    assert summary["frontend_builds"] == summary["kernels"]
+    assert summary["optimize_builds"] == summary["kernels"]
+    assert summary["design_points"] >= 30
+    assert summary["warm_speedup"] >= 3.0

@@ -31,6 +31,10 @@ from .exec import BatchEvaluator, CompiledSimulator, make_functional_simulator
 from .frontend import compile_c
 from .ir import IRBuilder, Module
 from .opt import optimize
+from .pipeline import (
+    ArtifactStore, CompilePipeline, global_compile_pipeline,
+    reset_global_compile_pipeline,
+)
 from .sim import CycleSimulator, FunctionalSimulator
 from .toolchain import Toolchain, run_matrix
 
@@ -45,6 +49,8 @@ __all__ = [
     "compile_c",
     "IRBuilder", "Module",
     "optimize",
+    "ArtifactStore", "CompilePipeline", "global_compile_pipeline",
+    "reset_global_compile_pipeline",
     "CycleSimulator", "FunctionalSimulator",
     "Toolchain", "run_matrix",
     "__version__",

@@ -23,16 +23,31 @@ class CompileReport:
     spilled_registers: int = 0
     max_pressure: int = 0
     code: Optional[CodeSizeReport] = None
+    #: per-stage cache/timing records (``repro.pipeline.StageRecord``)
+    #: filled in by the staged compile pipeline; empty for direct
+    #: ``compile_module`` calls.
+    stages: List = field(default_factory=list)
 
 
-def compile_function(function: Function, machine: MachineDescription) -> CompiledFunction:
-    """Schedule and allocate one function for ``machine``."""
+def compile_function(function: Function, machine: MachineDescription,
+                     report: Optional[CompileReport] = None) -> CompiledFunction:
+    """Schedule and allocate one function for ``machine``.
+
+    When ``report`` is given, the function's scheduling statistics,
+    spill counts and register pressure are accumulated into it.
+    """
     assignment, spill_plan = allocate_registers(function, machine)
     compiled = CompiledFunction(name=function.name, machine=machine,
                                 source=function, registers=assignment)
     for block in topological_block_order(function):
-        scheduled, _stats = schedule_block(block, machine, spill_plan)
+        scheduled, stats = schedule_block(block, machine, spill_plan)
         compiled.blocks.append(scheduled)
+        if report is not None:
+            report.schedule.merge(stats)
+    if report is not None:
+        report.functions += 1
+        report.spilled_registers += len(assignment.spilled)
+        report.max_pressure = max(report.max_pressure, assignment.max_pressure)
     return compiled
 
 
@@ -42,16 +57,6 @@ def compile_module(module: Module, machine: MachineDescription
     compiled = CompiledModule(machine=machine, source=module)
     report = CompileReport(machine=machine.name)
     for function in module.functions.values():
-        assignment, spill_plan = allocate_registers(function, machine)
-        cf = CompiledFunction(name=function.name, machine=machine,
-                              source=function, registers=assignment)
-        for block in topological_block_order(function):
-            scheduled, stats = schedule_block(block, machine, spill_plan)
-            cf.blocks.append(scheduled)
-            report.schedule.merge(stats)
-        compiled.add(cf)
-        report.functions += 1
-        report.spilled_registers += len(assignment.spilled)
-        report.max_pressure = max(report.max_pressure, assignment.max_pressure)
+        compiled.add(compile_function(function, machine, report))
     report.code = code_size(machine, compiled.bundle_op_counts())
     return compiled, report

@@ -28,7 +28,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.area import estimate_area
 from ..arch.machine import MachineDescription
-from ..backend.codegen import compile_module
 from ..core.customizer import IsaCustomizer
 from ..core.identification import EnumerationConfig
 from ..core.library import ExtensionLibrary
@@ -37,15 +36,13 @@ from ..arch.operations import OperationClass
 from ..arch.power import EnergyModel, custom_pj, operation_pj
 from ..backend.mcode import CompiledModule
 from ..exec.engine import CompiledSimulator
+from ..exec.registry import EVALUATION_ENGINES, validate_engine
 from ..ir import Opcode
-from ..opt import optimize
+from ..pipeline import CompilePipeline, global_compile_pipeline
 from ..sim.cycle import CycleSimulator
 from ..sim.functional import ExecutionProfile
 from ..workloads.kernels import Kernel
-from ..workloads.suite import WorkloadMix, compile_kernel
-
-#: measurement engines understood by Evaluator.
-EVALUATION_ENGINES = ("cycle", "compiled")
+from ..workloads.suite import WorkloadMix
 
 
 @dataclass
@@ -130,21 +127,25 @@ class Evaluator:
 
     def __init__(self, mix: WorkloadMix, size: Optional[int] = None,
                  opt_level: int = 3, seed: int = 1234,
-                 engine: str = "cycle") -> None:
-        if engine not in EVALUATION_ENGINES:
-            raise ValueError(
-                f"unknown engine '{engine}'; options: "
-                f"{', '.join(EVALUATION_ENGINES)}")
+                 engine: str = "cycle",
+                 pipeline: Optional[CompilePipeline] = None) -> None:
+        validate_engine(engine, "evaluation")
         self.mix = mix
         self.size = size
         self.opt_level = opt_level
         self.seed = seed
         self.engine = engine
+        #: staged compile pipeline shared across design points (and, via
+        #: the process-wide default, across evaluators): the machine-
+        #: independent front half runs once per kernel, and scheduled
+        #: code is reused between machines with equal backend axes.
+        self.pipeline = (pipeline if pipeline is not None
+                         else global_compile_pipeline())
         # Pre-compile the machine-independent IR once per kernel.
         self._modules = {}
         for kernel, weight in mix.kernels():
-            module = compile_kernel(kernel.name)
-            optimize(module, level=self.opt_level)
+            module, _records = self.pipeline.front(
+                kernel.source, kernel.name, opt_level=self.opt_level)
             self._modules[kernel.name] = module
 
     def evaluate(self, machine: MachineDescription,
@@ -192,7 +193,7 @@ class Evaluator:
                 args = kernel.arguments(self.size, seed=self.seed)
                 expected = kernel.expected(args)
                 try:
-                    compiled, report = compile_module(module, working_machine)
+                    compiled, report = self.pipeline.backend(module, working_machine)
                     run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
                     code_bytes = (report.code.bytes_effective
                                   if report.code is not None else 0)

@@ -9,27 +9,33 @@ This package is the performance tier of the simulation stack:
 * :mod:`repro.exec.cache` — a content-addressed code cache so structurally
   identical modules are translated once;
 * :mod:`repro.exec.batch` — :class:`BatchEvaluator`, parallel and
-  persistently cached design-point evaluation for the explorer.
+  persistently cached design-point evaluation for the explorer;
+* :mod:`repro.exec.registry` — the single registry of engine names used
+  by every ``engine=`` parameter across the stack.
 
 Engine selection: everything that runs functional simulation accepts an
 ``engine`` argument, either ``"interpreter"`` (reference oracle) or
-``"compiled"`` (this package); see :func:`make_functional_simulator`.
+``"compiled"`` (this package); see :func:`make_functional_simulator` and
+:func:`validate_engine`.
 """
 
+from .registry import (
+    ENGINE_KINDS, EVALUATION_ENGINES, FUNCTIONAL_ENGINES, validate_engine,
+)
 from .batch import BatchEvaluator, BatchStats, EvaluatorSpec
 from .cache import (
     CodeCache, CodeCacheStats, global_code_cache, module_fingerprint,
     reset_global_code_cache,
 )
-from .engine import (
-    FUNCTIONAL_ENGINES, CompiledSimulator, make_functional_simulator,
-)
+from .engine import CompiledSimulator, make_functional_simulator
 from .translator import TranslatedProgram, translate_module
 
 __all__ = [
+    "ENGINE_KINDS", "EVALUATION_ENGINES", "FUNCTIONAL_ENGINES",
+    "validate_engine",
     "BatchEvaluator", "BatchStats", "EvaluatorSpec",
     "CodeCache", "CodeCacheStats", "global_code_cache",
     "module_fingerprint", "reset_global_code_cache",
-    "FUNCTIONAL_ENGINES", "CompiledSimulator", "make_functional_simulator",
+    "CompiledSimulator", "make_functional_simulator",
     "TranslatedProgram", "translate_module",
 ]

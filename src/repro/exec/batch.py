@@ -9,11 +9,13 @@ and completely deterministic given the evaluator configuration.
   fans the misses out over a process pool (``workers > 1``) or evaluates
   them serially in-process (``workers <= 1``, the default: cheap, no pool
   startup, still cached);
-* **caching** — results are memoized in memory and, when ``cache_dir`` is
-  given, pickled to disk keyed by a SHA-256 of the full evaluation recipe
-  (workload mix, problem size, optimization level, seed, engine, design
-  point), so repeated explorations of the same space are nearly free even
-  across processes.
+* **caching** — results are memoized in a
+  :class:`repro.pipeline.ArtifactStore` (the same content-addressed store
+  the staged compile pipeline uses) under the ``"evaluation"`` stage,
+  keyed by a SHA-256 of the full evaluation recipe (workload mix, problem
+  size, optimization level, seed, engine, design point); when
+  ``cache_dir`` is given the store's disk layer makes repeated
+  explorations of the same space nearly free even across processes.
 
 Worker processes are primed by fork inheritance when the platform allows
 it (the parent's evaluator, with its pre-compiled kernel IR, is reused
@@ -25,16 +27,20 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
-import os
-import pickle
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..dse.space import DesignPoint
+from ..pipeline.store import ArtifactStore
 
-#: bump when the evaluation recipe changes incompatibly.
-_CACHE_SCHEMA = 1
+#: bump when the evaluation recipe or on-disk format changes incompatibly
+#: (2: the memo moved into ArtifactStore — cache_dir/evaluation/<key>.pkl
+#: holding a (payload, seconds) tuple).
+_CACHE_SCHEMA = 2
+
+#: artifact-store stage name under which evaluations are memoized.
+EVALUATION_STAGE = "evaluation"
 
 #: evaluator inherited by forked workers (see _initialize_worker).
 _WORKER_EVALUATOR = None
@@ -114,15 +120,18 @@ class BatchEvaluator:
     """Evaluates design points in parallel with persistent memoization."""
 
     def __init__(self, evaluator, workers: int = 0,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 store: Optional[ArtifactStore] = None) -> None:
         self.evaluator = evaluator
         self.workers = workers
         self.cache_dir = cache_dir
-        if cache_dir is not None:
-            os.makedirs(cache_dir, exist_ok=True)
         self.spec = EvaluatorSpec.from_evaluator(evaluator)
         self.stats = BatchStats()
-        self._memory: Dict[str, object] = {}
+        #: evaluations live in the same kind of content-addressed store as
+        #: compile artifacts; pass one in to share it (and its disk layer)
+        #: with a compile pipeline or another batch evaluator.
+        self.store = (store if store is not None
+                      else ArtifactStore(capacity=None, cache_dir=cache_dir))
 
     # ------------------------------------------------------------------
     # Cache keys.
@@ -133,34 +142,6 @@ class BatchEvaluator:
                   self.spec.size, self.spec.opt_level, self.spec.seed,
                   self.spec.engine, point.cache_key())
         return hashlib.sha256(repr(recipe).encode("utf-8")).hexdigest()
-
-    def _disk_path(self, key: str) -> Optional[str]:
-        if self.cache_dir is None:
-            return None
-        return os.path.join(self.cache_dir, f"{key}.pkl")
-
-    def _load_disk(self, key: str):
-        path = self._disk_path(key)
-        if path is None or not os.path.exists(path):
-            return None
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except Exception:  # noqa: BLE001 - treat a corrupt entry as a miss
-            return None
-
-    def _store_disk(self, key: str, evaluation) -> None:
-        path = self._disk_path(key)
-        if path is None:
-            return
-        tmp = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(evaluation, handle)
-            os.replace(tmp, path)
-        except Exception:  # noqa: BLE001 - the cache is best effort
-            if os.path.exists(tmp):
-                os.remove(tmp)
 
     # ------------------------------------------------------------------
     # Evaluation.
@@ -175,29 +156,33 @@ class BatchEvaluator:
         self.stats.requested += len(points)
 
         keys = [self.point_key(point) for point in points]
+        results: Dict[str, object] = {}
         missing: Dict[str, DesignPoint] = {}
         for key, point in zip(keys, points):
-            if key in self._memory:
+            if key in results:
                 self.stats.memory_hits += 1
                 continue
             if key in missing:
                 self.stats.memory_hits += 1
                 continue
-            cached = self._load_disk(key)
-            if cached is not None:
-                self.stats.disk_hits += 1
-                self._memory[key] = cached
+            artifact = self.store.get(EVALUATION_STAGE, key, persist=True)
+            if artifact is not None:
+                if artifact.source == "disk":
+                    self.stats.disk_hits += 1
+                else:
+                    self.stats.memory_hits += 1
+                results[key] = artifact.payload
                 continue
             missing[key] = point
 
         if missing:
             evaluated = self._evaluate_missing(list(missing.items()))
             for key, evaluation in evaluated:
-                self._memory[key] = evaluation
-                self._store_disk(key, evaluation)
+                results[key] = evaluation
+                self.store.put(EVALUATION_STAGE, key, evaluation, persist=True)
             self.stats.evaluated += len(evaluated)
 
-        return [self._memory[key] for key in keys]
+        return [results[key] for key in keys]
 
     def _evaluate_missing(self, items):
         """items: list of (key, point) pairs not found in any cache."""

@@ -33,6 +33,7 @@ from ..ir.types import I32
 from ..sim.functional import ExecutionProfile, SimulationError, _wrap
 from ..sim.memory import Memory, ProgramImage
 from .cache import CodeCache, global_code_cache
+from .registry import FUNCTIONAL_ENGINES, validate_engine
 from .translator import TranslatedFunction, TranslatedProgram
 
 
@@ -161,10 +162,6 @@ class CompiledSimulator:
                     call_counts.get(callee, 0) + count * per_visit)
 
 
-#: engine registry used by the selector plumbing across the stack.
-FUNCTIONAL_ENGINES = ("interpreter", "compiled")
-
-
 def make_functional_simulator(module: Module, engine: str = "interpreter",
                               **kwargs):
     """Build the requested functional-execution engine for ``module``.
@@ -174,6 +171,7 @@ def make_functional_simulator(module: Module, engine: str = "interpreter",
     module's :class:`CompiledSimulator`).  Both expose the same
     ``run``/``run_profiled``/``profile`` contract.
     """
+    validate_engine(engine, "functional")
     if engine == "interpreter":
         from ..sim.functional import FunctionalSimulator
 
@@ -182,4 +180,5 @@ def make_functional_simulator(module: Module, engine: str = "interpreter",
     if engine == "compiled":
         return CompiledSimulator(module, **kwargs)
     raise ValueError(
-        f"unknown engine '{engine}'; options: {', '.join(FUNCTIONAL_ENGINES)}")
+        f"engine '{engine}' is registered but has no constructor here; "
+        f"teach make_functional_simulator about it")

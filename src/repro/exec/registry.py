@@ -1,0 +1,45 @@
+"""The single registry of execution-engine names.
+
+Engine strings appear at several API surfaces (``Toolchain(engine=...)``,
+``Evaluator(engine=...)``, ``run_kernel(engine=...)``); each used to
+validate them against its own private tuple.  This module is the one
+authoritative list, grouped by *kind*:
+
+* ``"functional"`` — engines that execute IR for values and profiles:
+  the reference ``"interpreter"`` and the threaded-code ``"compiled"``;
+* ``"evaluation"`` — measurement engines of :class:`repro.dse.Evaluator`:
+  ``"cycle"`` (cycle-accurate) and ``"compiled"`` (functional execution
+  with statically reduced timing).
+
+Kept import-light on purpose so every layer (toolchain, dse, workloads)
+can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: functional-execution engines (value/profile producers).
+FUNCTIONAL_ENGINES: Tuple[str, ...] = ("interpreter", "compiled")
+
+#: Evaluator measurement engines.
+EVALUATION_ENGINES: Tuple[str, ...] = ("cycle", "compiled")
+
+ENGINE_KINDS: Dict[str, Tuple[str, ...]] = {
+    "functional": FUNCTIONAL_ENGINES,
+    "evaluation": EVALUATION_ENGINES,
+}
+
+
+def validate_engine(engine: str, kind: str = "functional") -> str:
+    """Return ``engine`` if it names an engine of ``kind``; raise otherwise."""
+    try:
+        options = ENGINE_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine kind '{kind}'; kinds: "
+            f"{', '.join(sorted(ENGINE_KINDS))}") from None
+    if engine not in options:
+        raise ValueError(
+            f"unknown engine '{engine}'; options: {', '.join(options)}")
+    return engine

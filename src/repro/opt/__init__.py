@@ -4,11 +4,11 @@ from .passes import (
     algebraic_simplify, constant_fold, copy_propagate, dead_code_elimination,
     if_convert, inline_small_functions, local_cse, simplify_cfg, unroll_loops,
 )
-from .pipeline import PassManager, PassStatistics, optimize
+from .pipeline import FixpointRun, PassManager, PassStatistics, optimize
 
 __all__ = [
     "algebraic_simplify", "constant_fold", "copy_propagate",
     "dead_code_elimination", "if_convert", "inline_small_functions",
     "local_cse", "simplify_cfg", "unroll_loops",
-    "PassManager", "PassStatistics", "optimize",
+    "FixpointRun", "PassManager", "PassStatistics", "optimize",
 ]

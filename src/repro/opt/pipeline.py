@@ -14,6 +14,7 @@ to a fixed point.  Optimization levels follow the usual convention:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -22,16 +23,59 @@ from . import passes
 
 
 @dataclass
+class FixpointRun:
+    """One cleanup-to-fixpoint loop: per-iteration change counts.
+
+    ``iterations[i]`` is the total number of changes all cleanup passes
+    made in iteration ``i``; a converged run ends with a ``0`` entry (the
+    iteration that proved the fixpoint).  ``converged`` is False when the
+    loop hit its iteration cap while still making changes — the case the
+    old single-counter reporting silently swallowed.
+    """
+
+    label: str
+    iterations: List[int] = field(default_factory=list)
+    converged: bool = True
+
+    @property
+    def rounds(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.iterations)
+
+
+@dataclass
 class PassStatistics:
     """Per-pass change counts accumulated over a pipeline run."""
 
     changes: Dict[str, int] = field(default_factory=dict)
+    #: one record per cleanup-to-fixpoint loop, in execution order.
+    fixpoint_runs: List[FixpointRun] = field(default_factory=list)
 
     def record(self, name: str, count: int) -> None:
         self.changes[name] = self.changes.get(name, 0) + count
 
     def total(self) -> int:
         return sum(self.changes.values())
+
+    @property
+    def cap_hits(self) -> List[FixpointRun]:
+        """Fixpoint loops that were stopped by the iteration cap."""
+        return [run for run in self.fixpoint_runs if not run.converged]
+
+
+#: the cheap cleanup passes iterated to a fixed point between the
+#: structural phases of the pipeline.
+CLEANUP_PASSES = (
+    ("copy_propagate", passes.copy_propagate),
+    ("constant_fold", passes.constant_fold),
+    ("algebraic_simplify", passes.algebraic_simplify),
+    ("local_cse", passes.local_cse),
+    ("dead_code_elimination", passes.dead_code_elimination),
+    ("simplify_cfg", passes.simplify_cfg),
+)
 
 
 class PassManager:
@@ -59,19 +103,34 @@ class PassManager:
             assert_valid(module)
         return count
 
+    def run_to_fixpoint(self, label: str, module: Module,
+                        max_iterations: int = 10) -> FixpointRun:
+        """Iterate the cleanup passes until no pass changes anything.
 
-def _cleanup_to_fixpoint(manager: PassManager, module: Module,
-                         max_iterations: int = 10) -> None:
-    for _ in range(max_iterations):
-        changed = 0
-        changed += manager.run_function_pass("copy_propagate", passes.copy_propagate, module)
-        changed += manager.run_function_pass("constant_fold", passes.constant_fold, module)
-        changed += manager.run_function_pass("algebraic_simplify", passes.algebraic_simplify, module)
-        changed += manager.run_function_pass("local_cse", passes.local_cse, module)
-        changed += manager.run_function_pass("dead_code_elimination", passes.dead_code_elimination, module)
-        changed += manager.run_function_pass("simplify_cfg", passes.simplify_cfg, module)
-        if changed == 0:
-            break
+        Each iteration's change count is recorded separately in the
+        returned :class:`FixpointRun` (also appended to
+        ``stats.fixpoint_runs``); hitting ``max_iterations`` with changes
+        still occurring marks the run unconverged and emits a
+        :class:`RuntimeWarning`.
+        """
+        run = FixpointRun(label=label)
+        for _ in range(max_iterations):
+            changed = 0
+            for name, pass_fn in CLEANUP_PASSES:
+                changed += self.run_function_pass(name, pass_fn, module)
+            run.iterations.append(changed)
+            if changed == 0:
+                break
+        else:
+            run.converged = False
+            last = run.iterations[-1] if run.iterations else 0
+            warnings.warn(
+                f"cleanup fixpoint '{label}' hit its {max_iterations}-"
+                f"iteration cap with {last} changes still occurring "
+                f"(module {module.name})",
+                RuntimeWarning, stacklevel=2)
+        self.stats.fixpoint_runs.append(run)
+        return run
 
 
 def optimize(module: Module, level: int = 2, *, unroll_factor: int = 4,
@@ -83,15 +142,15 @@ def optimize(module: Module, level: int = 2, *, unroll_factor: int = 4,
             assert_valid(module)
         return manager.stats
 
-    _cleanup_to_fixpoint(manager, module)
+    manager.run_to_fixpoint("initial", module)
 
     if level >= 2:
         manager.run_module_pass(
             "inline_small_functions", passes.inline_small_functions, module
         )
-        _cleanup_to_fixpoint(manager, module)
+        manager.run_to_fixpoint("post-inline", module)
         manager.run_function_pass("if_convert", passes.if_convert, module)
-        _cleanup_to_fixpoint(manager, module)
+        manager.run_to_fixpoint("post-if-convert", module)
 
     if level >= 3 and unroll_factor >= 2:
         def unroll(function: Function) -> int:
@@ -101,6 +160,6 @@ def optimize(module: Module, level: int = 2, *, unroll_factor: int = 4,
         for _ in range(8):
             if manager.run_function_pass("unroll_loops", unroll, module) == 0:
                 break
-        _cleanup_to_fixpoint(manager, module)
+        manager.run_to_fixpoint("post-unroll", module)
 
     return manager.stats

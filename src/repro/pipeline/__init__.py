@@ -1,0 +1,33 @@
+"""Staged compilation with content-addressed artifact reuse.
+
+The compile side of the mass-customization argument: deriving and
+evaluating a new family member is cheap only if the toolchain never
+redoes work whose inputs have not changed.  This package mirrors the
+cache-first architecture of :mod:`repro.exec` for the compiler itself —
+every stage of ``C → IR → scheduled code → binary`` is fingerprinted by
+exactly the inputs that can change its output and memoized in a shared
+:class:`ArtifactStore`, splitting at the machine-independence boundary so
+design-space sweeps pay the front half once per kernel and share the back
+half across design points with equal backend axes.
+"""
+
+from .compile import (
+    BackendStage, CompilePipeline, EncodeStage, FrontendStage, OptimizeStage,
+    global_compile_pipeline, rebind_compiled, reset_global_compile_pipeline,
+)
+from .fingerprints import (
+    backend_fingerprint, encode_fingerprint, machine_backend_fingerprint,
+    opt_fingerprint, source_fingerprint,
+)
+from .stage import Stage, StageRecord
+from .store import ArtifactStore, StageArtifact, StageStats
+
+__all__ = [
+    "ArtifactStore", "StageArtifact", "StageStats",
+    "Stage", "StageRecord",
+    "CompilePipeline", "FrontendStage", "OptimizeStage", "BackendStage",
+    "EncodeStage", "global_compile_pipeline",
+    "reset_global_compile_pipeline", "rebind_compiled",
+    "source_fingerprint", "opt_fingerprint", "machine_backend_fingerprint",
+    "backend_fingerprint", "encode_fingerprint",
+]

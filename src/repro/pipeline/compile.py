@@ -1,0 +1,266 @@
+"""The staged C → IR → scheduled-code → binary compilation pipeline.
+
+:class:`CompilePipeline` decomposes what used to be the ad-hoc
+``Toolchain.frontend → optimize → compile_module → encode_module`` call
+chain into four content-addressed stages sharing one
+:class:`~repro.pipeline.store.ArtifactStore`:
+
+* ``frontend``  — C source → raw IR, keyed by the source text;
+* ``optimize``  — raw IR → optimized IR, keyed by the frontend key plus
+  the optimization configuration;
+* ``backend``   — optimized IR → scheduled code + compile report, keyed
+  by the *structural* module fingerprint times the machine axes the back
+  end actually reads (see :mod:`repro.pipeline.fingerprints`);
+* ``encode``    — scheduled code → binary image, keyed by the backend key.
+
+The split sits exactly at the machine-independence boundary, so a
+design-space sweep compiles C→optimized-IR once per kernel no matter how
+many machines it visits, and design points that differ only in
+timing/energy axes (clock, caches, branch penalty) share scheduled code
+and binaries wholesale — the compiled artifacts are *rebound* to the
+requesting machine on the way out, never rebuilt.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import List, Optional, Tuple, Union
+
+from ..arch.machine import MachineDescription
+from ..backend.asm import BinaryImage, encode_module
+from ..backend.codegen import CompileReport, compile_module
+from ..backend.mcode import CompiledFunction, CompiledModule
+from ..exec.cache import module_fingerprint
+from ..frontend import compile_c
+from ..ir import Module
+from ..opt import optimize
+from .fingerprints import (
+    backend_fingerprint, encode_fingerprint, opt_fingerprint,
+    source_fingerprint,
+)
+from .stage import Stage, StageRecord
+from .store import ArtifactStore
+
+
+class FrontendStage(Stage):
+    """C source text → raw (unoptimized) IR module."""
+
+    name = "frontend"
+
+    def key(self, source: str, module_name: str) -> str:
+        return source_fingerprint(source, module_name)
+
+    def build(self, source: str, module_name: str) -> Module:
+        return compile_c(source, module_name=module_name)
+
+    def replicate(self, payload: Module, *inputs) -> Module:
+        # Callers optimize/customize modules in place; never leak the
+        # pristine stored module.
+        return payload.clone()
+
+
+class OptimizeStage(Stage):
+    """Raw IR + optimization configuration → optimized IR module."""
+
+    name = "optimize"
+
+    def key(self, module: Module, frontend_key: str, opt_level: int,
+            unroll_factor: int) -> str:
+        return opt_fingerprint(frontend_key, opt_level, unroll_factor)
+
+    def build(self, module: Module, frontend_key: str, opt_level: int,
+              unroll_factor: int) -> Module:
+        # ``module`` is already this stage's private copy (the frontend
+        # stage replicates on every return), so in-place optimization is
+        # safe.
+        optimize(module, level=opt_level, unroll_factor=unroll_factor)
+        return module
+
+    def replicate(self, payload: Module, *inputs) -> Module:
+        return payload.clone()
+
+
+class BackendStage(Stage):
+    """Optimized IR × backend machine axes → scheduled code + report."""
+
+    name = "backend"
+
+    def key(self, module: Module, machine: MachineDescription) -> str:
+        return backend_fingerprint(module_fingerprint(module), machine)
+
+    def build(self, module: Module,
+              machine: MachineDescription) -> Tuple[CompiledModule, CompileReport]:
+        # Compile against a private snapshot: callers may rewrite their
+        # module in place later (ISA customization), and the cached
+        # compiled code must keep referencing the IR it was built from.
+        snapshot = module.clone()
+        return compile_module(snapshot, machine)
+
+    def replicate(self, payload: Tuple[CompiledModule, CompileReport],
+                  module: Module, machine: MachineDescription
+                  ) -> Tuple[CompiledModule, CompileReport]:
+        compiled, report = payload
+        rebound = rebind_compiled(compiled, machine)
+        out_report = copy.deepcopy(report)
+        out_report.machine = machine.name
+        out_report.stages = []
+        return rebound, out_report
+
+
+class EncodeStage(Stage):
+    """Scheduled code → binary image (keyed by the backend key)."""
+
+    name = "encode"
+
+    def key(self, compiled: CompiledModule, backend_key: str) -> str:
+        return encode_fingerprint(backend_key)
+
+    def build(self, compiled: CompiledModule, backend_key: str) -> BinaryImage:
+        return encode_module(compiled)
+
+    def replicate(self, payload: BinaryImage, compiled: CompiledModule,
+                  backend_key: str) -> BinaryImage:
+        # Deep enough a copy that caller-side mutation of words/tables can
+        # never reach the stored image.
+        return BinaryImage(
+            machine_name=compiled.machine.name,
+            words={name: list(w) for name, w in payload.words.items()},
+            bundle_table={name: list(b)
+                          for name, b in payload.bundle_table.items()},
+            custom_op_names=list(payload.custom_op_names),
+        )
+
+
+def rebind_compiled(compiled: CompiledModule,
+                    machine: MachineDescription) -> CompiledModule:
+    """``compiled`` with its machine reference replaced by ``machine``.
+
+    Valid only when the two machines have equal backend fingerprints: the
+    schedule, register assignment and code size are identical, and the
+    simulators read the timing-only axes (clock, caches, branch penalty)
+    from the rebound reference.  A fresh module/function container is
+    always returned (so callers can add or drop functions without
+    touching the cached artifact); blocks and register assignments are
+    shared, not copied — they are immutable after scheduling.
+    """
+    rebound = CompiledModule(machine=machine, source=compiled.source)
+    for function in compiled:
+        rebound.add(CompiledFunction(
+            name=function.name, machine=machine, blocks=function.blocks,
+            source=function.source, registers=function.registers,
+        ))
+    return rebound
+
+
+class CompilePipeline:
+    """Content-addressed staged compilation over one artifact store."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self.store = store if store is not None else ArtifactStore()
+        self.frontend_stage = FrontendStage()
+        self.optimize_stage = OptimizeStage()
+        self.backend_stage = BackendStage()
+        self.encode_stage = EncodeStage()
+
+    # ------------------------------------------------------------------
+    # Front half (machine independent).
+    # ------------------------------------------------------------------
+    def frontend(self, source: str, name: str = "module"
+                 ) -> Tuple[Module, StageRecord]:
+        """C source → raw IR (cached by source text)."""
+        return self.frontend_stage.run(self.store, source, name)
+
+    def front(self, source: str, name: str = "module", opt_level: int = 2,
+              unroll_factor: int = 4) -> Tuple[Module, List[StageRecord]]:
+        """C source → optimized IR: the whole machine-independent half.
+
+        An optimize-stage hit short-circuits the frontend stage entirely
+        (its key is derivable from the source text alone), so a warm
+        sweep consults exactly one stage per kernel.
+        """
+        stage = self.optimize_stage
+        frontend_key = self.frontend_stage.key(source, name)
+        opt_key = stage.key(None, frontend_key, opt_level, unroll_factor)
+        cached = self.store.get(stage.name, opt_key)
+        if cached is not None:
+            record = StageRecord(stage=stage.name, key=opt_key, hit=True,
+                                 seconds=cached.seconds)
+            return stage.replicate(cached.payload), [record]
+        raw, front_record = self.frontend(source, name)
+        start = time.perf_counter()
+        module = stage.build(raw, frontend_key, opt_level, unroll_factor)
+        seconds = time.perf_counter() - start
+        self.store.put(stage.name, opt_key, module, seconds=seconds)
+        opt_record = StageRecord(stage=stage.name, key=opt_key, hit=False,
+                                 seconds=seconds)
+        return stage.replicate(module), [front_record, opt_record]
+
+    # ------------------------------------------------------------------
+    # Back half (machine dependent).
+    # ------------------------------------------------------------------
+    def backend(self, module: Module, machine: MachineDescription
+                ) -> Tuple[CompiledModule, CompileReport]:
+        """Optimized IR → scheduled code for ``machine`` (cached by the
+        structural module fingerprint × the machine's backend axes)."""
+        (compiled, report), record = self.backend_stage.run(
+            self.store, module, machine)
+        report.stages.append(record)
+        return compiled, report
+
+    def encode(self, compiled: CompiledModule, backend_key: str) -> BinaryImage:
+        """Scheduled code → binary image, reusing the backend key."""
+        image, _record = self.encode_stage.run(self.store, compiled,
+                                               backend_key)
+        return image
+
+    def backend_key(self, module: Module, machine: MachineDescription) -> str:
+        """The content key the backend stage would use for this pair."""
+        return self.backend_stage.key(module, machine)
+
+    # ------------------------------------------------------------------
+    # Whole pipeline.
+    # ------------------------------------------------------------------
+    def build(self, source_or_module: Union[str, Module],
+              machine: MachineDescription, name: str = "module",
+              opt_level: int = 2, unroll_factor: int = 4
+              ) -> Tuple[Module, CompiledModule, CompileReport, str]:
+        """Source (or pre-optimized module) → scheduled code + report.
+
+        Returns ``(module, compiled, report, backend_key)``;
+        ``report.stages`` records every stage consulted, with hit/miss and
+        timing, in pipeline order.
+        """
+        records: List[StageRecord] = []
+        if isinstance(source_or_module, str):
+            module, records = self.front(source_or_module, name,
+                                         opt_level=opt_level,
+                                         unroll_factor=unroll_factor)
+        else:
+            module = source_or_module
+        compiled, report = self.backend(module, machine)
+        report.stages = records + report.stages
+        return module, compiled, report, report.stages[-1].key
+
+    def stats(self):
+        """Per-stage hit/miss/timing counters of the underlying store."""
+        return self.store.stats_dict()
+
+
+#: process-wide pipeline shared by Toolchain, the workload suite and the
+#: evaluators unless a private one is supplied.
+_GLOBAL_PIPELINE: Optional[CompilePipeline] = None
+
+
+def global_compile_pipeline() -> CompilePipeline:
+    """Return the process-wide compile pipeline (created on first use)."""
+    global _GLOBAL_PIPELINE
+    if _GLOBAL_PIPELINE is None:
+        _GLOBAL_PIPELINE = CompilePipeline()
+    return _GLOBAL_PIPELINE
+
+
+def reset_global_compile_pipeline() -> None:
+    """Drop the process-wide pipeline (used by tests and benchmarks)."""
+    global _GLOBAL_PIPELINE
+    _GLOBAL_PIPELINE = None

@@ -1,0 +1,214 @@
+"""The content-addressed artifact store shared by all pipeline stages.
+
+An :class:`ArtifactStore` maps ``(stage, key)`` to a
+:class:`StageArtifact` through two layers:
+
+* an in-memory LRU (always on; ``capacity`` bounds the entry count), and
+* an optional on-disk pickle layer (``cache_dir``), used only for lookups
+  and puts that ask for persistence — live IR graphs stay in memory, while
+  plain-data artifacts such as design-point evaluations survive across
+  processes.  Disk I/O is best effort: a corrupt or unpicklable entry is
+  simply a miss.
+
+The store is the single source of truth for cache statistics: every
+lookup and insert updates the per-stage :class:`StageStats`, which the
+compile pipeline surfaces in ``CompileReport`` and the benchmarks print
+as hit-rate tables.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass
+class StageArtifact:
+    """One cached stage output.
+
+    ``payload`` is the stage's pristine result object — stages hand
+    callers a *replica* (clone/rebind/fresh container) of it, never the
+    payload itself, so caller-side mutation of the artifact's structure
+    can never poison the store (replicas may still share sub-objects the
+    stage declares immutable, e.g. scheduled blocks).  ``seconds`` is
+    the wall-clock cost of the build that produced it, which lets hits
+    report how much work they avoided.
+    """
+
+    stage: str
+    key: str
+    payload: object
+    seconds: float = 0.0
+    #: which layer satisfied this lookup: "memory", "disk" or "built".
+    #: Memory hits return a per-call copy of the record (sharing the
+    #: payload), so the field is provenance for the caller that received
+    #: it, never shared mutable state.
+    source: str = "built"
+
+
+@dataclass
+class StageStats:
+    """Hit/miss counters for one stage of one store."""
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    #: wall-clock spent building artifacts on misses.
+    seconds_built: float = 0.0
+    #: build seconds avoided by serving hits from the store.
+    seconds_saved: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return 0.0 if lookups == 0 else (self.hits + self.disk_hits) / lookups
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"hits": self.hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "puts": self.puts,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4),
+                "seconds_built": round(self.seconds_built, 6),
+                "seconds_saved": round(self.seconds_saved, 6)}
+
+
+class ArtifactStore:
+    """Two-layer (memory LRU + optional disk) content-addressed store."""
+
+    def __init__(self, capacity: Optional[int] = 1024,
+                 cache_dir: Optional[str] = None) -> None:
+        self.capacity = capacity
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+        self._entries: "OrderedDict[tuple, StageArtifact]" = OrderedDict()
+        self._stats: Dict[str, StageStats] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+    def stats(self, stage: str) -> StageStats:
+        """Counters for ``stage`` (created on first use)."""
+        with self._lock:
+            return self._stats.setdefault(stage, StageStats())
+
+    def stats_dict(self) -> Dict[str, Dict[str, object]]:
+        """All per-stage counters, for reports and benchmarks."""
+        with self._lock:
+            return {stage: stats.as_dict()
+                    for stage, stats in sorted(self._stats.items())}
+
+    # ------------------------------------------------------------------
+    # Lookup / insert.
+    # ------------------------------------------------------------------
+    def get(self, stage: str, key: str,
+            persist: bool = False) -> Optional[StageArtifact]:
+        """Return the artifact for ``(stage, key)`` or None on a miss.
+
+        ``persist`` enables the disk layer for this lookup; a disk hit is
+        promoted into the memory layer.
+        """
+        stats = self.stats(stage)
+        with self._lock:
+            artifact = self._entries.get((stage, key))
+            if artifact is not None:
+                stats.hits += 1
+                stats.seconds_saved += artifact.seconds
+                self._entries.move_to_end((stage, key))
+                return replace(artifact, source="memory")
+        if persist:
+            artifact = self._load_disk(stage, key)
+            if artifact is not None:
+                # ``artifact`` is this call's private object; the stored
+                # copy is never mutated after insertion.
+                artifact.source = "disk"
+                with self._lock:
+                    stats.disk_hits += 1
+                    stats.seconds_saved += artifact.seconds
+                    self._insert(stage, key, artifact, stats)
+                return artifact
+        with self._lock:
+            stats.misses += 1
+        return None
+
+    def put(self, stage: str, key: str, payload: object,
+            seconds: float = 0.0, persist: bool = False) -> StageArtifact:
+        """Insert a freshly built payload; returns its artifact record."""
+        artifact = StageArtifact(stage=stage, key=key, payload=payload,
+                                 seconds=seconds, source="built")
+        stats = self.stats(stage)
+        with self._lock:
+            stats.puts += 1
+            stats.seconds_built += seconds
+            self._insert(stage, key, artifact, stats)
+        if persist:
+            self._store_disk(stage, key, artifact)
+        return artifact
+
+    def _insert(self, stage: str, key: str, artifact: StageArtifact,
+                stats: StageStats) -> None:
+        # Caller holds the lock.
+        self._entries[(stage, key)] = artifact
+        self._entries.move_to_end((stage, key))
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            (evicted_stage, _evicted_key), _artifact = \
+                self._entries.popitem(last=False)
+            self._stats.setdefault(evicted_stage, StageStats()).evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, stage_key: tuple) -> bool:
+        return stage_key in self._entries
+
+    def clear(self) -> None:
+        """Drop the memory layer and counters (disk entries are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._stats.clear()
+
+    # ------------------------------------------------------------------
+    # Disk layer (best effort).
+    # ------------------------------------------------------------------
+    def _disk_path(self, stage: str, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, stage, f"{key}.pkl")
+
+    def _load_disk(self, stage: str, key: str) -> Optional[StageArtifact]:
+        path = self._disk_path(stage, key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload, seconds = pickle.load(handle)
+            return StageArtifact(stage=stage, key=key, payload=payload,
+                                 seconds=seconds, source="disk")
+        except Exception:  # noqa: BLE001 - a corrupt entry is a miss
+            return None
+
+    def _store_disk(self, stage: str, key: str,
+                    artifact: StageArtifact) -> None:
+        path = self._disk_path(stage, key)
+        if path is None:
+            return
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump((artifact.payload, artifact.seconds), handle)
+            os.replace(tmp, path)
+        except Exception:  # noqa: BLE001 - the disk layer is best effort
+            if os.path.exists(tmp):
+                os.remove(tmp)

@@ -16,16 +16,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..arch.area import AreaReport, estimate_area
 from ..arch.encoding import CodeSizeReport
 from ..arch.machine import MachineDescription
-from ..backend.codegen import CompileReport, compile_module
+from ..backend.codegen import CompileReport
 from ..backend.mcode import CompiledModule
 from ..backend.asm import BinaryImage, encode_module, render_assembly
 from ..core.customizer import CustomizationResult, IsaCustomizer
 from ..core.identification import EnumerationConfig
 from ..core.library import ExtensionLibrary, global_extension_library
 from ..core.selection import SelectionConfig
-from ..frontend import compile_c
+from ..exec.registry import validate_engine
 from ..ir import Module
-from ..opt import optimize
+from ..pipeline import CompilePipeline, global_compile_pipeline
 from ..sim.cycle import CycleSimulator, SimulationResult
 from ..sim.functional import FunctionalSimulator
 
@@ -38,6 +38,11 @@ class BuildArtifacts:
     compiled: CompiledModule
     report: CompileReport
     machine: MachineDescription
+    #: the pipeline that produced this build and its backend content key;
+    #: set by :meth:`Toolchain.build` so derived artifacts (the binary
+    #: encoding) are served from the same artifact store.
+    pipeline: Optional[CompilePipeline] = None
+    backend_key: Optional[str] = None
 
     @property
     def assembly(self) -> str:
@@ -45,7 +50,25 @@ class BuildArtifacts:
 
     @property
     def binary(self) -> BinaryImage:
+        if self.pipeline is not None and self.backend_key is not None:
+            image = self.pipeline.encode(self.compiled, self.backend_key)
+            if self._image_matches(image):
+                return image
+        # ``compiled`` was restructured after the build (functions added,
+        # dropped or rescheduled): encode the live object instead of the
+        # cached image.
         return encode_module(self.compiled)
+
+    def _image_matches(self, image: BinaryImage) -> bool:
+        """Cheap structural check that a cached image still describes
+        ``compiled`` (same functions, same bundle counts)."""
+        if set(image.words) != set(self.compiled.functions):
+            return False
+        for function in self.compiled:
+            bundles = sum(len(block.bundles) for block in function.blocks)
+            if len(image.bundle_table.get(function.name, ())) != bundles:
+                return False
+        return True
 
     @property
     def area(self) -> AreaReport:
@@ -62,13 +85,9 @@ class Toolchain:
     def __init__(self, machine: MachineDescription, opt_level: int = 2,
                  unroll_factor: int = 4,
                  library: Optional[ExtensionLibrary] = None,
-                 engine: str = "interpreter") -> None:
-        from ..exec.engine import FUNCTIONAL_ENGINES
-
-        if engine not in FUNCTIONAL_ENGINES:
-            raise ValueError(
-                f"unknown engine '{engine}'; options: "
-                f"{', '.join(FUNCTIONAL_ENGINES)}")
+                 engine: str = "interpreter",
+                 pipeline: Optional[CompilePipeline] = None) -> None:
+        validate_engine(engine, "functional")
         self.machine = machine
         self.opt_level = opt_level
         self.unroll_factor = unroll_factor
@@ -76,28 +95,37 @@ class Toolchain:
         #: functional-execution engine used by run_reference:
         #: "interpreter" (reference oracle) or "compiled" (threaded code).
         self.engine = engine
+        #: staged compile pipeline; the process-wide one by default, so
+        #: toolchains for different family members share the machine-
+        #: independent half of every compile.
+        self.pipeline = pipeline if pipeline is not None else global_compile_pipeline()
 
     # ------------------------------------------------------------------
     # Front end + optimizer.
     # ------------------------------------------------------------------
     def frontend(self, source: str, name: str = "module") -> Module:
         """Compile C source to optimized IR (no machine dependence yet)."""
-        module = compile_c(source, module_name=name)
-        optimize(module, level=self.opt_level, unroll_factor=self.unroll_factor)
+        module, _records = self.pipeline.front(
+            source, name, opt_level=self.opt_level,
+            unroll_factor=self.unroll_factor)
         return module
 
     # ------------------------------------------------------------------
     # Machine-dependent back end.
     # ------------------------------------------------------------------
     def build(self, module_or_source, name: str = "module") -> BuildArtifacts:
-        """Compile IR (or C source) for this toolchain's machine."""
-        if isinstance(module_or_source, str):
-            module = self.frontend(module_or_source, name)
-        else:
-            module = module_or_source
-        compiled, report = compile_module(module, self.machine)
+        """Compile IR (or C source) for this toolchain's machine.
+
+        Every stage is served from the pipeline's content-addressed
+        artifact store when its inputs are unchanged;
+        ``report.stages`` records what was reused vs. rebuilt.
+        """
+        module, compiled, report, backend_key = self.pipeline.build(
+            module_or_source, self.machine, name=name,
+            opt_level=self.opt_level, unroll_factor=self.unroll_factor)
         return BuildArtifacts(module=module, compiled=compiled, report=report,
-                              machine=self.machine)
+                              machine=self.machine, pipeline=self.pipeline,
+                              backend_key=backend_key)
 
     # ------------------------------------------------------------------
     # Simulation.
@@ -151,7 +179,8 @@ class Toolchain:
                                       profile_args=profile_args)
         derived = Toolchain(result.machine, opt_level=self.opt_level,
                             unroll_factor=self.unroll_factor,
-                            library=self.library, engine=self.engine)
+                            library=self.library, engine=self.engine,
+                            pipeline=self.pipeline)
         derived.last_customization = result  # type: ignore[attr-defined]
         return derived
 
@@ -162,7 +191,8 @@ class Toolchain:
         """The same toolchain pointed at a different family member."""
         return Toolchain(machine, opt_level=self.opt_level,
                          unroll_factor=self.unroll_factor,
-                         library=self.library, engine=self.engine)
+                         library=self.library, engine=self.engine,
+                         pipeline=self.pipeline)
 
     def describe(self) -> str:
         return f"Toolchain for {self.machine.describe()} (O{self.opt_level})"

@@ -14,12 +14,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..arch.machine import MachineDescription
-from ..backend.codegen import compile_module
-from ..opt import optimize
+from ..pipeline import global_compile_pipeline
 from ..sim.cycle import CycleSimulator
 from ..sim.functional import FunctionalSimulator
 from ..workloads.kernels import KERNELS, Kernel, get_kernel
-from ..workloads.suite import compile_kernel
 
 
 @dataclass
@@ -100,6 +98,7 @@ def run_matrix(machines: Sequence[MachineDescription],
     """Compile and validate every kernel on every machine."""
     names = sorted(kernel_names) if kernel_names is not None else sorted(KERNELS)
     report = MatrixReport()
+    pipeline = global_compile_pipeline()
 
     for machine in machines:
         for name in names:
@@ -108,8 +107,8 @@ def run_matrix(machines: Sequence[MachineDescription],
             expected = kernel.expected(args)
             cell = MatrixCell(machine=machine.name, kernel=name, correct=False)
             try:
-                module = compile_kernel(name)
-                optimize(module, level=opt_level)
+                module, _records = pipeline.front(kernel.source, kernel.name,
+                                                  opt_level=opt_level)
 
                 # Cross-check 1: functional simulation vs. the Python oracle.
                 reference = FunctionalSimulator(module.clone())
@@ -117,7 +116,7 @@ def run_matrix(machines: Sequence[MachineDescription],
                 ref_value = reference.run(kernel.entry, *ref_args)
 
                 # Cross-check 2: scheduled code on the cycle simulator.
-                compiled, compile_report = compile_module(module, machine)
+                compiled, compile_report = pipeline.backend(module, machine)
                 simulator = CycleSimulator(compiled)
                 run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
                 result = simulator.run(kernel.entry, *run_args)

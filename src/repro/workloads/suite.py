@@ -12,15 +12,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..frontend import compile_c
 from ..ir import Module
 from .kernels import DOMAINS, KERNELS, Kernel, get_kernel
 
 
-def compile_kernel(name: str) -> Module:
-    """Compile one kernel's C source to an IR module named after it."""
+def compile_kernel(name: str, pipeline=None) -> Module:
+    """Compile one kernel's C source to an IR module named after it.
+
+    Served from the staged compile pipeline's content-addressed frontend
+    stage (the process-wide pipeline unless one is passed), so repeated
+    compiles of the same kernel parse its C source exactly once.  The
+    returned module is a private clone the caller may freely optimize or
+    rewrite.
+    """
+    from ..pipeline import global_compile_pipeline
+
     kernel = get_kernel(name)
-    return compile_c(kernel.source, module_name=kernel.name)
+    pipeline = pipeline if pipeline is not None else global_compile_pipeline()
+    module, _record = pipeline.frontend(kernel.source, kernel.name)
+    return module
 
 
 def compile_suite(names: Optional[Iterable[str]] = None) -> Dict[str, Module]:
