@@ -23,12 +23,13 @@ KERNELS = ["saturated_add", "viterbi_acs", "alpha_blend", "rgb_to_gray",
            "fir_filter", "crc32"]
 SIZE = 48
 BUDGET_KGATES = 40.0
+SEED = 1234  # explicit input seed: sweeps are bit-reproducible end to end
 
 
 def run_kernel(kernel_name):
     reset_global_library()
     kernel = get_kernel(kernel_name)
-    args = kernel.arguments(SIZE)
+    args = kernel.arguments(SIZE, seed=SEED)
     run_args = lambda: tuple(list(a) if isinstance(a, list) else a for a in args)
     expected = kernel.expected(args)
 

@@ -29,6 +29,7 @@ from .arch import (
 from .core import IsaCustomizer, customize_isa
 from .exec import BatchEvaluator, CompiledSimulator, make_functional_simulator
 from .frontend import compile_c
+from .gen import WorkloadPopulation, WorkloadSpec, generate_kernel, sample_spec
 from .ir import IRBuilder, Module
 from .opt import optimize
 from .pipeline import (
@@ -47,6 +48,7 @@ __all__ = [
     "IsaCustomizer", "customize_isa",
     "BatchEvaluator", "CompiledSimulator", "make_functional_simulator",
     "compile_c",
+    "WorkloadPopulation", "WorkloadSpec", "generate_kernel", "sample_spec",
     "IRBuilder", "Module",
     "optimize",
     "ArtifactStore", "CompilePipeline", "global_compile_pipeline",

@@ -70,7 +70,8 @@ class Explorer:
     """Searches a :class:`DesignSpace` for the best fit to a workload mix."""
 
     def __init__(self, evaluator: Evaluator, objective: str = "perf_per_area",
-                 batch: Optional["BatchEvaluator"] = None) -> None:
+                 batch: Optional["BatchEvaluator"] = None,
+                 seed: int = 7) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
                 f"unknown objective '{objective}'; options: {', '.join(OBJECTIVES)}"
@@ -80,6 +81,9 @@ class Explorer:
         self.evaluator = evaluator
         self.objective = objective
         self._objective_fn = OBJECTIVES[objective]
+        #: default seed for the stochastic strategies: one explicit place
+        #: to pin so repeated sweeps are bit-reproducible end to end.
+        self.seed = seed
         #: all evaluation flows through the batch layer (memoized by the
         #: design point's cache key; optionally parallel and disk-backed).
         self.batch = batch if batch is not None else BatchEvaluator(evaluator)
@@ -158,15 +162,21 @@ class Explorer:
         return result
 
     def annealing(self, space: DesignSpace, iterations: int = 40,
-                  seed: int = 7, initial_temperature: float = 1.0) -> ExplorationResult:
+                  seed: Optional[int] = None,
+                  initial_temperature: float = 1.0,
+                  rng: Optional[random.Random] = None) -> ExplorationResult:
         """Simulated annealing with a deterministic RNG.
 
         Candidate selection does not depend on evaluation outcomes, so the
         whole candidate sequence is drawn up front and evaluated as one
         batch; the annealing walk is then replayed over the prefetched
-        evaluations.  Results are deterministic for a given seed.
+        evaluations.  The random source is explicit: pass ``rng`` to share
+        a generator across calls, or ``seed`` to pin this call; otherwise
+        the explorer's ``seed`` is used, so repeated runs of the same
+        explorer configuration are bit-reproducible.
         """
-        rng = random.Random(seed)
+        if rng is None:
+            rng = random.Random(self.seed if seed is None else seed)
         points = list(space.points())
         if not points:
             raise ValueError("design space is empty")

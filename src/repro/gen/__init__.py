@@ -1,0 +1,38 @@
+"""Synthetic workload generation and characterization.
+
+Fisher99's custom-fit argument is only as strong as the population of
+applications a sweep can draw on.  This package manufactures that
+population: seeded, serializable :class:`WorkloadSpec` recipes expand
+into self-checking kernels (C for the front end + a Python oracle
+rendered from the same AST), get characterized statically and
+dynamically, and fan through the DSE layer as
+:class:`WorkloadPopulation` — unbounded scenario families instead of
+eight hand-written demos.
+
+Typical use::
+
+    from repro.gen import WorkloadPopulation
+
+    population = WorkloadPopulation.generate(100, seed=2024)
+    with population:                     # registers into repro.workloads
+        assert all(population.validate().values())
+        report = population.report(budget=32.0)
+"""
+
+from .characterize import (
+    DynamicFeatures, StaticFeatures, WorkloadCharacterization,
+    characterize_kernel, dynamic_features, static_features,
+)
+from .generator import GeneratedKernel, build_function, generate_kernel
+from .population import FamilyGain, WorkloadPopulation
+from .spec import (
+    FAMILIES, WorkloadSpec, sample_population_specs, sample_spec,
+)
+
+__all__ = [
+    "DynamicFeatures", "StaticFeatures", "WorkloadCharacterization",
+    "characterize_kernel", "dynamic_features", "static_features",
+    "GeneratedKernel", "build_function", "generate_kernel",
+    "FamilyGain", "WorkloadPopulation",
+    "FAMILIES", "WorkloadSpec", "sample_population_specs", "sample_spec",
+]

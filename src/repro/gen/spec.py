@@ -1,0 +1,231 @@
+"""Seeded, serializable descriptions of synthetic workloads.
+
+A :class:`WorkloadSpec` is the *recipe* for one generated kernel: the
+scenario family it belongs to, the loop-nest shape, the operation mix,
+branch density, memory stride/footprint and operand data width.  The
+spec is deliberately tiny and primitive-typed so that
+
+* two processes holding equal specs generate bit-identical kernels
+  (generation draws every random choice from ``Random(spec.seed)``), and
+* :meth:`WorkloadSpec.fingerprint` gives a stable content address that
+  composes with :mod:`repro.pipeline.fingerprints` — a population can be
+  memoized, shipped or diffed by spec fingerprints alone.
+
+Specs are sampled per family by :func:`sample_spec`; the distributions
+are chosen so each family stresses a different part of the machine
+(dense arithmetic, branches, dependent loads, reductions, strided
+memory with independent chains).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..pipeline.fingerprints import spec_fingerprint
+
+#: the scenario families the generator knows how to expand.
+FAMILIES: Tuple[str, ...] = (
+    "streaming_dsp",    # dense multiply-accumulate loops, optional tap nest
+    "control_heavy",    # data-dependent if/else chains
+    "table_lookup",     # dependent loads through a 256-entry table
+    "reduction",        # parallel sum/xor/max accumulators
+    "memory_mixed",     # strided loads/stores, independent ILP chains
+)
+
+#: binary operators the expression sampler may draw, per mix bucket.
+OP_BUCKETS: Dict[str, Tuple[str, ...]] = {
+    "arith": ("+", "-"),
+    "mul": ("*",),
+    "logic": ("&", "|", "^"),
+    "shift": ("<<", ">>"),
+}
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthetic-kernel recipe (immutable, hashable, serializable)."""
+
+    family: str
+    seed: int
+    #: default problem size (arrays per run); power of two.
+    size: int = 64
+    #: addressable window for masked indexing; power of two, <= size.
+    footprint: int = 64
+    #: loop-nest depth: 1 (flat) or 2 (inner tap/stage loop).
+    depth: int = 1
+    #: inner-loop trip count when depth == 2; power of two, <= footprint.
+    taps: int = 8
+    #: maximum random-expression depth.
+    expr_depth: int = 2
+    #: 0..1, scales how many data-dependent branches the body grows.
+    branch_density: float = 0.5
+    #: memory stride (odd, so masked strides permute the footprint).
+    stride: int = 1
+    #: operand width in bits (8, 16 or 32): narrows loaded values.
+    data_bits: int = 32
+    #: op-mix weights as sorted (bucket, weight) pairs; buckets are the
+    #: keys of :data:`OP_BUCKETS`.
+    op_mix: Tuple[Tuple[str, float], ...] = (
+        ("arith", 3.0), ("logic", 1.0), ("mul", 1.0), ("shift", 1.0),
+    )
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"unknown family '{self.family}'; available: {', '.join(FAMILIES)}"
+            )
+        if not _is_pow2(self.size) or not _is_pow2(self.footprint):
+            raise ValueError("size and footprint must be powers of two")
+        if self.footprint < 8:
+            raise ValueError("footprint must be at least 8")
+        if self.footprint > self.size:
+            raise ValueError("footprint must not exceed size")
+        if self.depth not in (1, 2):
+            raise ValueError("loop-nest depth must be 1 or 2")
+        if not _is_pow2(self.taps) or self.taps > self.footprint:
+            raise ValueError("taps must be a power of two <= footprint")
+        if self.data_bits not in (8, 16, 32):
+            raise ValueError("data_bits must be 8, 16 or 32")
+        if not 0.0 <= self.branch_density <= 1.0:
+            raise ValueError("branch_density must be in [0, 1]")
+        if self.stride < 1 or self.stride % 2 == 0:
+            raise ValueError("stride must be odd and positive")
+        # Normalize the op mix so equal mixes fingerprint equally.
+        mix = tuple(sorted((str(k), float(w)) for k, w in self.op_mix))
+        for bucket, weight in mix:
+            if bucket not in OP_BUCKETS:
+                raise ValueError(f"unknown op-mix bucket '{bucket}'")
+            if weight < 0:
+                raise ValueError("op-mix weights must be non-negative")
+        # The generator needs at least one positive-weight non-shift
+        # bucket (shifts only ever take small constant right operands).
+        if not any(weight > 0 and bucket != "shift" for bucket, weight in mix):
+            raise ValueError(
+                "op_mix needs a positive weight on at least one "
+                "non-shift bucket"
+            )
+        object.__setattr__(self, "op_mix", mix)
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family, "seed": self.seed, "size": self.size,
+            "footprint": self.footprint, "depth": self.depth,
+            "taps": self.taps, "expr_depth": self.expr_depth,
+            "branch_density": self.branch_density, "stride": self.stride,
+            "data_bits": self.data_bits,
+            "op_mix": [list(pair) for pair in self.op_mix],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadSpec":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "op_mix" in kwargs:
+            kwargs["op_mix"] = tuple(
+                (str(k), float(w)) for k, w in kwargs["op_mix"]
+            )
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Identity.
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content address of this spec (pipeline-compatible)."""
+        return spec_fingerprint(self.family, self.to_json())
+
+    def kernel_name(self) -> str:
+        """Unique, C-identifier-safe kernel name derived from the content."""
+        return f"gen_{self.family}_{self.fingerprint()[:10]}"
+
+
+# ----------------------------------------------------------------------
+# Per-family sampling.
+# ----------------------------------------------------------------------
+
+#: op-mix profiles each family samples from.
+_FAMILY_MIXES: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "streaming_dsp": (("arith", 4.0), ("mul", 3.0), ("shift", 1.0), ("logic", 0.5)),
+    "control_heavy": (("arith", 3.0), ("logic", 2.0), ("mul", 0.5), ("shift", 0.5)),
+    "table_lookup": (("arith", 2.0), ("logic", 2.0), ("shift", 1.0), ("mul", 0.5)),
+    "reduction": (("arith", 3.0), ("logic", 2.0), ("mul", 1.0), ("shift", 1.0)),
+    "memory_mixed": (("arith", 3.0), ("logic", 1.5), ("mul", 1.0), ("shift", 1.0)),
+}
+
+
+def sample_spec(family: str, seed: int,
+                rng: Optional[random.Random] = None) -> WorkloadSpec:
+    """Draw one family-appropriate spec; deterministic in ``(family, seed)``.
+
+    ``rng`` draws the *shape* parameters (size, depth, stride, ...); it
+    defaults to ``Random(seed)`` so the same seed always yields the same
+    spec.  The spec's own ``seed`` — the one kernel generation uses — is
+    always the ``seed`` argument.
+    """
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown family '{family}'; available: {', '.join(FAMILIES)}"
+        )
+    rng = rng if rng is not None else random.Random(seed)
+    size = rng.choice((32, 64))
+    footprint = rng.choice((16, 32, size))
+    footprint = min(footprint, size)
+    depth = 2 if (family == "streaming_dsp" and rng.random() < 0.5) else 1
+    taps = rng.choice((4, 8))
+    taps = min(taps, footprint)
+    return WorkloadSpec(
+        family=family,
+        seed=seed,
+        size=size,
+        footprint=footprint,
+        depth=depth,
+        taps=taps,
+        expr_depth=rng.choice((2, 2, 3)),
+        branch_density=rng.choice((0.25, 0.5, 0.75, 1.0)),
+        stride=rng.choice((1, 3, 5, 7)),
+        data_bits=rng.choice((8, 16, 32)),
+        op_mix=_FAMILY_MIXES[family],
+    )
+
+
+def sample_population_specs(count: int, seed: int,
+                            families: Optional[Sequence[str]] = None
+                            ) -> Tuple[WorkloadSpec, ...]:
+    """``count`` specs, round-robin over ``families``, deterministic in seed."""
+    chosen = tuple(families) if families is not None else FAMILIES
+    if not chosen:
+        raise ValueError("families must be non-empty")
+    for family in chosen:
+        if family not in FAMILIES:
+            raise ValueError(
+                f"unknown family '{family}'; available: {', '.join(FAMILIES)}"
+            )
+    master = random.Random(seed)
+    specs = []
+    seen = set()
+    while len(specs) < count:
+        family = chosen[len(specs) % len(chosen)]
+        spec_seed = master.randrange(1 << 30)
+        spec = sample_spec(family, spec_seed, rng=master)
+        key = spec.fingerprint()
+        if key in seen:  # pragma: no cover - astronomically unlikely
+            continue
+        seen.add(key)
+        specs.append(spec)
+    return tuple(specs)

@@ -68,6 +68,17 @@ def source_fingerprint(source: str, name: str = "module") -> str:
     return _digest("frontend", PIPELINE_SCHEMA, name, source)
 
 
+def spec_fingerprint(family: str, canonical: str) -> str:
+    """Content key of a synthetic :class:`~repro.gen.WorkloadSpec`.
+
+    ``canonical`` is the spec's canonical serialized form (sorted-key
+    JSON); the digest shares the pipeline schema version so regenerating
+    a population after a semantics-changing pipeline bump produces fresh
+    keys everywhere at once.
+    """
+    return _digest("workload-spec", PIPELINE_SCHEMA, family, canonical)
+
+
 def opt_fingerprint(frontend_key: str, opt_level: int, unroll_factor: int) -> str:
     """Key of the ``optimize`` stage: front-end output + opt configuration."""
     return _digest("optimize", PIPELINE_SCHEMA, frontend_key, opt_level,

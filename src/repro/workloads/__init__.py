@@ -1,13 +1,17 @@
 """Embedded workload kernels and product-style workload mixes."""
 
-from .kernels import DOMAINS, KERNELS, Kernel, get_kernel
+from .kernels import (
+    BUILTIN_KERNELS, DOMAINS, KERNELS, Kernel, get_kernel, list_kernels,
+    register_kernel, unregister_kernel,
+)
 from .suite import (
     MIXES, KernelRun, WorkloadMix, compile_kernel, compile_suite, get_mix,
     run_kernel, validate_suite,
 )
 
 __all__ = [
-    "DOMAINS", "KERNELS", "Kernel", "get_kernel",
+    "BUILTIN_KERNELS", "DOMAINS", "KERNELS", "Kernel", "get_kernel",
+    "list_kernels", "register_kernel", "unregister_kernel",
     "MIXES", "KernelRun", "WorkloadMix", "compile_kernel", "compile_suite",
     "get_mix", "run_kernel", "validate_suite",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -568,17 +568,68 @@ KERNELS: Dict[str, Kernel] = {
     )
 }
 
-#: Kernel names grouped by product domain (the §1.3 list).
+#: Kernel names grouped by product domain (the §1.3 list, plus one
+#: ``gen:<family>`` domain per registered generated family).
 DOMAINS: Dict[str, List[str]] = {}
 for _kernel in KERNELS.values():
     DOMAINS.setdefault(_kernel.domain, []).append(_kernel.name)
 
+#: the hand-written seed suite (never unregisterable by population churn).
+BUILTIN_KERNELS = frozenset(KERNELS)
+
 
 def get_kernel(name: str) -> Kernel:
-    """Look up a kernel by name."""
+    """Look up a kernel by name (built-in or registered at runtime)."""
     try:
         return KERNELS[name]
     except KeyError:
         raise KeyError(
             f"unknown kernel '{name}'; available: {', '.join(sorted(KERNELS))}"
         ) from None
+
+
+def list_kernels(domain: Optional[str] = None) -> List[str]:
+    """Sorted names of every registered kernel (optionally one domain)."""
+    if domain is None:
+        return sorted(KERNELS)
+    return sorted(DOMAINS.get(domain, []))
+
+
+def register_kernel(kernel: Kernel, replace: bool = False) -> Kernel:
+    """Add ``kernel`` to the runtime registry (generated kernels land here).
+
+    Registered kernels are full citizens: :func:`get_kernel`,
+    :func:`list_kernels`, the suite helpers and the DSE evaluators all
+    resolve them by name.  Re-registering an existing name requires
+    ``replace=True``; the built-in suite can be replaced but a later
+    :func:`unregister_kernel` restores nothing — don't.
+    """
+    existing = KERNELS.get(kernel.name)
+    if existing is not None and not replace:
+        raise ValueError(
+            f"kernel '{kernel.name}' is already registered; "
+            f"pass replace=True to overwrite"
+        )
+    if existing is not None:
+        names = DOMAINS.get(existing.domain, [])
+        if kernel.name in names:
+            names.remove(kernel.name)
+    KERNELS[kernel.name] = kernel
+    names = DOMAINS.setdefault(kernel.domain, [])
+    if kernel.name not in names:
+        names.append(kernel.name)
+    return kernel
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a runtime-registered kernel (built-ins are protected)."""
+    if name in BUILTIN_KERNELS:
+        raise ValueError(f"cannot unregister built-in kernel '{name}'")
+    kernel = KERNELS.pop(name, None)
+    if kernel is None:
+        return
+    names = DOMAINS.get(kernel.domain, [])
+    if name in names:
+        names.remove(name)
+    if not names and kernel.domain in DOMAINS:
+        del DOMAINS[kernel.domain]
