@@ -9,6 +9,10 @@ support all architectures in range".
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 from repro.arch import clustered_vliw4, dsp_core, risc_baseline, vliw2, vliw4, vliw8
 from repro.toolchain import run_matrix
 
@@ -18,6 +22,8 @@ MACHINES = [risc_baseline(), vliw2(), vliw4(), vliw8(), clustered_vliw4(), dsp_c
 KERNELS = ["dot_product", "saturated_add", "viterbi_acs", "sad16",
            "rgb_to_gray", "ip_checksum", "histogram"]
 SIZE = 24
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_nxm_matrix.json"
 
 
 def test_e5_nxm_matrix(benchmark):
@@ -39,6 +45,17 @@ def test_e5_nxm_matrix(benchmark):
     print(f"\nE5 summary: {len(report.cells)} cells "
           f"({len(report.machines)} architectures x {len(report.kernels)} programs), "
           f"pass rate {100 * report.pass_rate():.1f}%.")
+
+    # The baseline JSON is the report's own schema-versioned export
+    # (MatrixReport.to_dict — the same helper the service layer builds
+    # its matrix responses from), not an ad-hoc dict.
+    OUTPUT.write_text(json.dumps({
+        "experiment": "e5_nxm_matrix",
+        "python": platform.python_version(),
+        "size": SIZE,
+        "report": report.to_dict(),
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {OUTPUT.name}")
 
     assert len(report.cells) == len(MACHINES) * len(KERNELS)
     assert report.all_correct, [c.error for c in report.failures]

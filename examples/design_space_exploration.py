@@ -1,62 +1,80 @@
 """Custom-fit processors: explore the architecture space for a workload.
 
-Uses the design-space explorer to fit a VLIW family member to the video
-workload mix: every candidate machine is generated from the same
-architecture-description tables, compiled for, simulated, and scored; the
-script prints the full evaluation table, the time/area Pareto front, and
-the "knee" machine a product team would pick.
+Submits a serializable ``ExploreRequest`` to a :class:`repro.Session`:
+every candidate machine is generated from the same
+architecture-description tables, compiled for, simulated, and scored
+through the session's shared compile pipeline and batched evaluator.
+The response carries the full evaluation table, the time/area Pareto
+front, the "knee" machine a product team would pick, and provenance
+(engine, timings, cache behaviour).  The same request JSON drives
+``python -m repro explore``.
 
 Run with:  python examples/design_space_exploration.py
 """
 
 from __future__ import annotations
 
-from repro.dse import DesignSpace, Evaluator, Explorer
-from repro.workloads import get_mix
+from repro import ExploreRequest, Session
 
 
 def main() -> None:
-    mix = get_mix("video")
-    print(f"Workload mix: {mix.name} ({', '.join(mix.names())})")
-
-    evaluator = Evaluator(mix, size=32, opt_level=3)
-    explorer = Explorer(evaluator, objective="perf_per_area")
-
-    space = DesignSpace(
-        issue_widths=(1, 2, 4, 8),
-        register_counts=(32, 64),
-        cluster_counts=(1,),
-        mul_unit_counts=(1, 2),
-        mem_unit_counts=(1, 2),
-        custom_budgets=(0.0, 40.0),
+    request = ExploreRequest(
+        mix="video",
+        strategy="exhaustive",
+        objective="perf_per_area",
+        size=24,
+        opt_level=2,
+        # The screening engine: functional execution + schedule-derived
+        # timing, several times faster than cycle-accurate simulation —
+        # the mode meant for wide sweeps like this one.
+        engine="compiled",
+        space={
+            "issue_widths": [1, 2, 4, 8],
+            "register_counts": [32, 64],
+            "cluster_counts": [1],
+            "mul_unit_counts": [1, 2],
+            "mem_unit_counts": [2],
+            "custom_budgets": [0.0, 40.0],
+        },
+        # Fan the 24 candidate evaluations out over the BatchEvaluator
+        # process pool; results are bit-identical to a serial run.
+        workers=4,
     )
-    print(f"Design space: {space.size()} points "
-          f"(issue width x registers x FU mix x ISE budget)\n")
+    print(f"Workload mix: {request.mix}  (request: {request.to_json()[:72]}...)")
 
-    result = explorer.exhaustive(space)
+    with Session() as session:
+        response = session.submit(request).result()
+
+    print(f"Explored {response.points_evaluated} design points "
+          f"(issue width x registers x FU mix x ISE budget)\n")
 
     print(f"{'machine':<22} {'ok':<4} {'cycles':>9} {'us':>8} {'kgates':>8} "
           f"{'code B':>8} {'perf/area':>10}")
-    for row in result.table():
+    for row in response.rows:
         print(f"{row['machine']:<22} {'y' if row['feasible'] else 'n':<4} "
               f"{row['cycles']:>9} {row['time_us']:>8} {row['area_kgates']:>8} "
               f"{row['code_bytes']:>8} {row['perf_per_area']:>10}")
 
     print("\nPareto front (execution time vs core area):")
-    for evaluation in sorted(result.pareto(), key=lambda e: e.area_kgates):
-        print(f"   {evaluation.machine.name:<22} "
-              f"{evaluation.weighted_time_us:9.1f} us   "
-              f"{evaluation.area_kgates:7.1f} kgates   "
-              f"{evaluation.custom_ops} custom ops")
+    by_machine = {row["machine"]: row for row in response.rows}
+    for name in response.pareto:
+        row = by_machine[name]
+        print(f"   {name:<22} {row['time_us']:>9} us   "
+              f"{row['area_kgates']:>7} kgates   "
+              f"{row['custom_ops']} custom ops")
 
-    knee = result.knee()
-    best = result.best
-    if knee is not None:
-        print(f"\nKnee of the front : {knee.machine.name} "
-              f"({knee.weighted_time_us:.1f} us, {knee.area_kgates:.1f} kgates)")
-    if best is not None:
-        print(f"Best {result.objective}: {best.machine.name} "
-              f"({best.perf_per_area:.4f} perf/kgate)")
+    if response.knee is not None:
+        print(f"\nKnee of the front : {response.knee['machine']} "
+              f"({response.knee['time_us']} us, "
+              f"{response.knee['area_kgates']} kgates)")
+    if response.best is not None:
+        print(f"Best {response.objective}: {response.best['machine']} "
+              f"({response.best['perf_per_area']} perf/kgate)")
+
+    provenance = response.provenance
+    print(f"\nServed by {provenance.session} in {provenance.elapsed_s:.1f} s "
+          f"(engine: {provenance.engine}; batch: "
+          f"{provenance.cache['batch']})")
 
 
 if __name__ == "__main__":

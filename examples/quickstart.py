@@ -1,68 +1,82 @@
 """Quickstart: compile, customize and simulate one embedded kernel.
 
-Walks the full flow of the library in ~40 lines:
+Walks the full flow of the library through the :class:`repro.Session`
+service façade:
 
-1. pick a machine description (the "table"),
-2. compile a C kernel with the mass-customized toolchain,
-3. measure it on the cycle-accurate simulator,
-4. let the customizer derive an application-specific family member,
-5. measure again and compare.
+1. open a session (it owns the artifact store, compile pipeline and
+   defaults that used to be process-global),
+2. compile a C kernel with a session-bound toolchain and measure it on
+   the cycle-accurate simulator,
+3. submit a serializable ``CustomizeRequest`` — the same JSON a remote
+   client (or ``python -m repro customize``) would send — and read the
+   provenance-carrying response,
+4. rebuild on the customized family member and inspect the assembly.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import Toolchain, vliw4
+from repro import CustomizeRequest, Session, vliw4
 from repro.arch import estimate_area
 from repro.workloads import get_kernel
 
 #: explicit input seed so repeated runs are bit-reproducible.
 SEED = 1234
+SIZE = 64
 
 
 def main() -> None:
     kernel = get_kernel("viterbi_acs")          # GSM-style add-compare-select loop
-    args = kernel.arguments(size=64, seed=SEED)
+    args = kernel.arguments(size=SIZE, seed=SEED)
     run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
 
-    # 1. A generic 4-issue VLIW family member, described entirely by tables.
-    base_machine = vliw4()
-    toolchain = Toolchain(base_machine, opt_level=3)
-    print(toolchain.describe())
+    with Session(opt_level=3, seed=SEED) as session:
+        # 1-3. A generic 4-issue VLIW family member, described entirely by
+        # tables; compile and simulate through a session-bound toolchain.
+        base_machine = vliw4()
+        toolchain = session.toolchain(base_machine)
+        print(toolchain.describe())
 
-    # 2-3. Compile and simulate on the base machine.
-    module = toolchain.frontend(kernel.source, kernel.name)
-    artifacts = toolchain.build(module.clone())
-    baseline = toolchain.run(artifacts, kernel.entry, *run_args)
-    print(f"\nbaseline  : {baseline.cycles:6d} cycles, "
-          f"{baseline.time_us:7.2f} us, {baseline.energy_uj:6.1f} uJ, "
-          f"IPC {baseline.stats.ipc:.2f}")
+        module = toolchain.frontend(kernel.source, kernel.name)
+        artifacts = toolchain.build(module.clone())
+        baseline = toolchain.run(artifacts, kernel.entry, *run_args)
+        print(f"\nbaseline  : {baseline.cycles:6d} cycles, "
+              f"{baseline.time_us:7.2f} us, {baseline.energy_uj:6.1f} uJ, "
+              f"IPC {baseline.stats.ipc:.2f}")
 
-    # 4. Automatically customize the ISA for this kernel (40 kgates budget).
-    custom_toolchain = toolchain.customize(
-        module, area_budget_kgates=40.0,
-        profile_entry=kernel.entry, profile_args=run_args)
-    report = custom_toolchain.last_customization.report
-    print(f"\ncustomizer: {report.summary()}")
+        # 4. Customization as a service: a serializable request in, a
+        # provenance-carrying response out.  The same JSON drives
+        # `python -m repro customize --kernel viterbi_acs --budget 40`.
+        request = CustomizeRequest(kernel=kernel.name, machine="vliw4",
+                                   area_budget_kgates=40.0, size=SIZE)
+        print(f"\nrequest   : {request.to_json()}")
+        response = session.submit(request).result()
+        print(f"customizer: {response.summary}")
+        print(f"customized: {response.custom_cycles:6d} cycles "
+              f"({response.speedup:.2f}x, ops: "
+              f"{', '.join(response.selected_ops) or '(none)'})")
+        assert response.correct
 
-    # 5. Re-measure on the customized family member.
-    custom_artifacts = custom_toolchain.build(module)
-    custom = custom_toolchain.run(custom_artifacts, kernel.entry, *run_args)
-    print(f"customized: {custom.cycles:6d} cycles, "
-          f"{custom.time_us:7.2f} us, {custom.energy_uj:6.1f} uJ, "
-          f"IPC {custom.stats.ipc:.2f}")
+        # 5. The customized family member is a first-class machine: rebuild
+        # the module on it and read the generated VLIW assembly.
+        custom_toolchain = toolchain.customize(
+            module, area_budget_kgates=40.0,
+            profile_entry=kernel.entry, profile_args=run_args)
+        custom_artifacts = custom_toolchain.build(module)
+        custom = custom_toolchain.run(custom_artifacts, kernel.entry, *run_args)
 
-    assert custom.value == baseline.value == kernel.expected(args)
-    base_area = estimate_area(base_machine).core
-    custom_area = estimate_area(custom_toolchain.machine).core
-    print(f"\nspeedup   : {baseline.cycles / custom.cycles:.2f}x "
-          f"for {custom_area - base_area:.1f} kgates "
-          f"({100 * (custom_area - base_area) / base_area:.1f}% core area)")
+        assert custom.value == baseline.value == kernel.expected(args)
+        assert custom.cycles == response.custom_cycles
+        base_area = estimate_area(base_machine).core
+        custom_area = estimate_area(custom_toolchain.machine).core
+        print(f"\nspeedup   : {baseline.cycles / custom.cycles:.2f}x "
+              f"for {custom_area - base_area:.1f} kgates "
+              f"({100 * (custom_area - base_area) / base_area:.1f}% core area)")
 
-    print("\nGenerated VLIW assembly (first 12 lines):")
-    for line in custom_artifacts.assembly.splitlines()[:12]:
-        print("   ", line)
+        print("\nGenerated VLIW assembly (first 12 lines):")
+        for line in custom_artifacts.assembly.splitlines()[:12]:
+            print("   ", line)
 
 
 if __name__ == "__main__":

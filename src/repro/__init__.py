@@ -8,18 +8,33 @@ extension (identification, selection, rewriting), design-space
 exploration, ISA-drift/binary-translation machinery, and the economic
 models behind the paper's five barriers.
 
-Typical use::
+Typical use — the session-scoped service façade::
 
-    from repro import Toolchain, vliw4
+    from repro import CustomizeRequest, Session
+
+    with Session(opt_level=3) as session:
+        job = session.submit(CustomizeRequest(kernel="sad16",
+                                              machine="vliw4",
+                                              area_budget_kgates=30.0))
+        response = job.result()
+        print(response.custom_machine, response.speedup)
+        print(response.to_json())          # schema-versioned, with provenance
+
+or the classic objects, bound to a session::
+
+    from repro import Session, vliw4
     from repro.workloads import get_kernel
 
     kernel = get_kernel("sad16")
-    toolchain = Toolchain(vliw4())
+    toolchain = Session().toolchain(vliw4())
     module = toolchain.frontend(kernel.source, kernel.name)
     custom = toolchain.customize(module, area_budget_kgates=30.0)
     artifacts = custom.build(module)
     result = custom.run(artifacts, kernel.entry, *kernel.arguments())
     print(result.cycles, result.energy_uj)
+
+The same six request kinds drive the CLI: ``python -m repro
+{compile,run,customize,explore,matrix,gen}``.
 """
 
 from .arch import (
@@ -38,8 +53,13 @@ from .pipeline import (
 )
 from .sim import CycleSimulator, FunctionalSimulator
 from .toolchain import Toolchain, run_matrix
+from .api import (
+    CompileRequest, CustomizeRequest, ExploreRequest, Job, MatrixRequest,
+    PopulationRequest, RunRequest, Session, default_session,
+    reset_default_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineDescription", "clustered_vliw4", "dsp_core", "get_preset",
@@ -55,5 +75,8 @@ __all__ = [
     "reset_global_compile_pipeline",
     "CycleSimulator", "FunctionalSimulator",
     "Toolchain", "run_matrix",
+    "CompileRequest", "CustomizeRequest", "ExploreRequest", "Job",
+    "MatrixRequest", "PopulationRequest", "RunRequest", "Session",
+    "default_session", "reset_default_session",
     "__version__",
 ]

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.api.cli`)."""
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""The service façade: sessions, serializable requests, jobs, CLI.
+
+This package is the one front door to the stack — Fisher99's
+customization-as-a-service shape.  A :class:`Session` owns the artifact
+store, compile pipeline, engine selection and defaults that used to be
+process-global; serializable request dataclasses go in,
+provenance-carrying responses come out; :meth:`Session.submit` wraps
+execution in future-backed jobs; and :mod:`repro.api.cli` exposes the
+same requests as ``python -m repro`` subcommands.
+
+Typical use::
+
+    from repro.api import MatrixRequest, Session
+
+    with Session() as session:
+        job = session.submit(MatrixRequest(machines=["vliw4", "risc32"]))
+        response = job.result()
+        print(response.pass_rate, response.to_json()[:80])
+"""
+
+from .jobs import Job
+from .requests import (
+    PRESET_ALIASES, REQUEST_TYPES, RESPONSE_TYPES, SCHEMA_VERSION,
+    CompileRequest, CompileResponse, CustomizeRequest, CustomizeResponse,
+    ExploreRequest, ExploreResponse, MatrixRequest, MatrixResponse,
+    PopulationRequest, PopulationResponse, Provenance, RunRequest,
+    RunResponse, SchemaError, request_from_dict, request_from_json,
+    resolve_machine, response_from_dict, response_from_json,
+)
+from .session import (
+    Session, default_pipeline, default_session, reset_default_session,
+)
+
+__all__ = [
+    "Job",
+    "PRESET_ALIASES", "REQUEST_TYPES", "RESPONSE_TYPES", "SCHEMA_VERSION",
+    "CompileRequest", "CompileResponse", "CustomizeRequest",
+    "CustomizeResponse", "ExploreRequest", "ExploreResponse",
+    "MatrixRequest", "MatrixResponse", "PopulationRequest",
+    "PopulationResponse", "Provenance", "RunRequest", "RunResponse",
+    "SchemaError", "request_from_dict", "request_from_json",
+    "resolve_machine", "response_from_dict", "response_from_json",
+    "Session", "default_pipeline", "default_session",
+    "reset_default_session",
+]

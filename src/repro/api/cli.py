@@ -1,0 +1,243 @@
+"""``python -m repro`` — the scriptable front door.
+
+Every subcommand builds one of the serializable requests of
+:mod:`repro.api.requests` (either from flags or from a request-JSON file
+via ``--request``), executes it on a fresh :class:`~repro.api.Session`,
+and writes the schema-versioned response JSON to stdout (or
+``--output``).  That makes the whole system drivable from shell scripts
+and CI::
+
+    python -m repro matrix --machines vliw4,risc_baseline
+    python -m repro run --kernel dot_product --machine vliw8 --size 256
+    python -m repro customize --kernel viterbi_acs --budget 40
+    python -m repro explore --mix video --strategy exhaustive --size 24
+    python -m repro gen --count 10 --seed 7
+    python -m repro compile --kernel sad16 --machine dsp16 --pretty
+
+Exit status is 0 on success; correctness-checking subcommands (``run``,
+``customize``, ``matrix``, ``gen``) exit 1 when a result disagrees with
+its oracle, and 2 on a request/validation error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .requests import (
+    EVALUATION_ENGINES, FUNCTIONAL_ENGINES, OBJECTIVES, RUN_ENGINES,
+    STRATEGIES, CompileRequest, CustomizeRequest, ExploreRequest,
+    MatrixRequest, MatrixResponse, PopulationRequest, PopulationResponse,
+    RunRequest, RunResponse, CustomizeResponse, SchemaError,
+    request_from_json,
+)
+from .session import Session
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(item) for item in _csv(text)]
+
+
+def _csv_floats(text: str) -> List[float]:
+    return [float(item) for item in _csv(text)]
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--request", metavar="FILE",
+                        help="read the full request JSON from FILE "
+                             "('-' for stdin); other request flags are "
+                             "ignored")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the response JSON to FILE instead of "
+                             "stdout")
+    parser.add_argument("--pretty", action="store_true",
+                        help="indent the response JSON")
+    parser.add_argument("--opt-level", type=int, default=None,
+                        help="optimization level (session default: 2)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool width for batched fan-out")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Customized instruction-sets as a service: submit a "
+                    "request, get schema-versioned JSON back.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = commands.add_parser(
+        "compile", help="compile a kernel (or C file) for a machine")
+    compile_p.add_argument("--kernel", help="registry kernel name")
+    compile_p.add_argument("--source", metavar="FILE",
+                           help="C source file ('-' for stdin)")
+    compile_p.add_argument("--name", help="module name for raw source")
+    compile_p.add_argument("--machine", default="vliw4")
+    _add_common(compile_p)
+
+    run_p = commands.add_parser(
+        "run", help="compile + execute a kernel against its oracle")
+    run_p.add_argument("--kernel", required=True)
+    run_p.add_argument("--machine", default="vliw4")
+    run_p.add_argument("--engine", default="cycle", choices=RUN_ENGINES)
+    run_p.add_argument("--size", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=None)
+    _add_common(run_p)
+
+    customize_p = commands.add_parser(
+        "customize", help="derive a custom family member for a kernel")
+    customize_p.add_argument("--kernel", required=True)
+    customize_p.add_argument("--machine", default="vliw4")
+    customize_p.add_argument("--budget", type=float, default=40.0,
+                             help="custom-datapath area budget (kgates)")
+    customize_p.add_argument("--max-ops", type=int, default=8)
+    customize_p.add_argument("--name", help="name for the custom machine")
+    customize_p.add_argument("--size", type=int, default=None)
+    customize_p.add_argument("--seed", type=int, default=None)
+    _add_common(customize_p)
+
+    explore_p = commands.add_parser(
+        "explore", help="search a design space for a workload mix")
+    explore_p.add_argument("--mix", default="video")
+    explore_p.add_argument("--strategy", default="exhaustive",
+                           choices=STRATEGIES)
+    explore_p.add_argument("--objective", default="perf_per_area",
+                           choices=sorted(OBJECTIVES))
+    explore_p.add_argument("--engine", default=None,
+                           choices=EVALUATION_ENGINES)
+    explore_p.add_argument("--size", type=int, default=None)
+    explore_p.add_argument("--seed", type=int, default=None)
+    explore_p.add_argument("--search-seed", type=int, default=None)
+    explore_p.add_argument("--iterations", type=int, default=40)
+    explore_p.add_argument("--max-rounds", type=int, default=4)
+    explore_p.add_argument("--issue-widths", type=_csv_ints, default=None)
+    explore_p.add_argument("--register-counts", type=_csv_ints, default=None)
+    explore_p.add_argument("--cluster-counts", type=_csv_ints, default=None)
+    explore_p.add_argument("--mul-units", type=_csv_ints, default=None,
+                           dest="mul_unit_counts")
+    explore_p.add_argument("--mem-units", type=_csv_ints, default=None,
+                           dest="mem_unit_counts")
+    explore_p.add_argument("--custom-budgets", type=_csv_floats, default=None)
+    _add_common(explore_p)
+
+    matrix_p = commands.add_parser(
+        "matrix", help="run the N×M validation matrix")
+    matrix_p.add_argument("--machines", type=_csv, default=["vliw4", "risc32"],
+                          help="comma-separated preset names")
+    matrix_p.add_argument("--kernels", type=_csv, default=None,
+                          help="comma-separated kernel names (default: all)")
+    matrix_p.add_argument("--engine", default=None, choices=FUNCTIONAL_ENGINES,
+                          help="functional cross-check engine")
+    matrix_p.add_argument("--size", type=int, default=None)
+    matrix_p.add_argument("--seed", type=int, default=None)
+    _add_common(matrix_p)
+
+    gen_p = commands.add_parser(
+        "gen", help="generate, validate and sweep a workload population")
+    gen_p.add_argument("--count", type=int, default=10)
+    gen_p.add_argument("--seed", type=int, default=0)
+    gen_p.add_argument("--families", type=_csv, default=None)
+    gen_p.add_argument("--budget", type=float, default=32.0)
+    gen_p.add_argument("--engine", default="compiled",
+                       choices=EVALUATION_ENGINES)
+    gen_p.add_argument("--size", type=int, default=None)
+    gen_p.add_argument("--kernels-per-family", type=int, default=3)
+    gen_p.add_argument("--no-validate", action="store_true",
+                       help="skip the dual-engine validation pass")
+    _add_common(gen_p)
+
+    return parser
+
+
+def _build_request(args: argparse.Namespace):
+    if args.request:
+        return request_from_json(_read_text(args.request))
+    if args.command == "compile":
+        source = _read_text(args.source) if args.source else None
+        return CompileRequest(kernel=args.kernel, source=source,
+                              name=args.name, machine=args.machine,
+                              opt_level=args.opt_level)
+    if args.command == "run":
+        return RunRequest(kernel=args.kernel, machine=args.machine,
+                          size=args.size, seed=args.seed,
+                          opt_level=args.opt_level, engine=args.engine)
+    if args.command == "customize":
+        return CustomizeRequest(kernel=args.kernel, machine=args.machine,
+                                area_budget_kgates=args.budget,
+                                max_operations=args.max_ops, size=args.size,
+                                seed=args.seed, opt_level=args.opt_level,
+                                name=args.name)
+    if args.command == "explore":
+        space = {axis: getattr(args, axis) for axis in (
+            "issue_widths", "register_counts", "cluster_counts",
+            "mul_unit_counts", "mem_unit_counts", "custom_budgets",
+        ) if getattr(args, axis) is not None}
+        return ExploreRequest(mix=args.mix, strategy=args.strategy,
+                              objective=args.objective, size=args.size,
+                              seed=args.seed, opt_level=args.opt_level,
+                              engine=args.engine, space=space or None,
+                              search_seed=args.search_seed,
+                              iterations=args.iterations,
+                              max_rounds=args.max_rounds,
+                              workers=args.workers or None)
+    if args.command == "matrix":
+        return MatrixRequest(machines=args.machines, kernels=args.kernels,
+                             size=args.size, seed=args.seed,
+                             opt_level=args.opt_level, engine=args.engine)
+    if args.command == "gen":
+        return PopulationRequest(count=args.count, seed=args.seed,
+                                 families=args.families,
+                                 budget_kgates=args.budget,
+                                 engine=args.engine, size=args.size,
+                                 opt_level=args.opt_level,
+                                 kernels_per_family=args.kernels_per_family,
+                                 validate_population=not args.no_validate,
+                                 workers=args.workers or None)
+    raise SchemaError(f"unknown command {args.command!r}")
+
+
+def _succeeded(response) -> bool:
+    if isinstance(response, MatrixResponse):
+        return response.all_correct
+    if isinstance(response, (RunResponse, CustomizeResponse)):
+        return response.correct
+    if isinstance(response, PopulationResponse):
+        return response.valid is None or response.valid == response.count
+    return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from ..frontend.c_frontend import CFrontendError
+
+    args = build_parser().parse_args(argv)
+    try:
+        request = _build_request(args)
+        with Session(workers=getattr(args, "workers", 0) or 0) as session:
+            response = session.execute(request)
+    except (SchemaError, ValueError, KeyError, TypeError, OSError,
+            CFrontendError) as exc:
+        # Request errors (unknown kernel/machine/mix, malformed JSON, bad
+        # C source) exit 2; exit 1 is reserved for oracle disagreements.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    text = response.to_json(indent=2 if args.pretty else None) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0 if _succeeded(response) else 1

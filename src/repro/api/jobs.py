@@ -1,0 +1,60 @@
+"""Future-backed job handles for submitted requests.
+
+:meth:`repro.api.Session.submit` wraps every request in a :class:`Job`:
+a thin handle over a :class:`concurrent.futures.Future` that remembers
+the request it is executing and exposes service-style status strings.
+Jobs exist so callers can fan work out (``submit`` several requests,
+then collect) without blocking on each one — the heavyweight
+parallelism (the process pool under design-space fan-out) lives inside
+:class:`~repro.exec.batch.BatchEvaluator`, below the job layer.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Optional
+
+
+class Job:
+    """One submitted request and its eventual response."""
+
+    def __init__(self, job_id: str, request, future: Future) -> None:
+        self.id = job_id
+        self.request = request
+        self._future = future
+
+    # ------------------------------------------------------------------
+    # Status.
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        """``queued`` / ``running`` / ``done`` / ``error`` / ``cancelled``."""
+        if self._future.cancelled():
+            return "cancelled"
+        if self._future.done():
+            return "error" if self._future.exception() is not None else "done"
+        if self._future.running():
+            return "running"
+        return "queued"
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Try to cancel before the job starts running."""
+        return self._future.cancel()
+
+    # ------------------------------------------------------------------
+    # Results.
+    # ------------------------------------------------------------------
+    def result(self, timeout: Optional[float] = None):
+        """Block for the response (re-raises the job's exception)."""
+        return self._future.result(timeout=timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        """Block for completion and return the exception, if any."""
+        return self._future.exception(timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Job(id={self.id!r}, kind={self.request.kind!r}, "
+                f"status={self.status!r})")

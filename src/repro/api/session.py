@@ -1,0 +1,469 @@
+"""The session-scoped service façade: one front door to the whole stack.
+
+A :class:`Session` owns everything that used to be process-global state:
+the content-addressed :class:`~repro.pipeline.store.ArtifactStore`, the
+staged :class:`~repro.pipeline.compile.CompilePipeline` built on it, the
+default execution engines (resolved through
+:mod:`repro.exec.registry`), and the default optimization level, seeds
+and fan-out width.  Two sessions never share artifact stores, so a
+server can isolate tenants (or a test can isolate cases) by giving each
+its own session.
+
+Work enters a session one of three ways:
+
+* **objects** — :meth:`toolchain` / :meth:`evaluator` / :meth:`explorer`
+  hand back the classic driver objects pre-bound to the session's
+  pipeline and defaults;
+* **requests** — :meth:`execute` takes one of the serializable request
+  dataclasses of :mod:`repro.api.requests` and returns the matching
+  provenance-carrying response;
+* **jobs** — :meth:`submit` wraps :meth:`execute` in a future-backed
+  :class:`~repro.api.jobs.Job`; :meth:`run_batch` submits a mixed
+  request list and collects the responses in order.  Design-space
+  requests additionally fan out over the
+  :class:`~repro.exec.batch.BatchEvaluator` process pool
+  (``workers``).
+
+A process-wide **default session** (:func:`default_session`) keeps the
+pre-session API working: ``Toolchain()``, ``run_matrix()``,
+``Evaluator()`` and friends fall back to its pipeline when none is
+injected, exactly as they used to fall back to the (now deprecated)
+``global_compile_pipeline()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..exec.registry import validate_engine
+from ..pipeline.compile import CompilePipeline
+from ..pipeline.store import ArtifactStore
+from .jobs import Job
+from .requests import (
+    CompileRequest, CompileResponse, CustomizeRequest, CustomizeResponse,
+    ExploreRequest, ExploreResponse, MatrixRequest, MatrixResponse,
+    PopulationRequest, PopulationResponse, Provenance, RunRequest,
+    RunResponse, resolve_machine,
+)
+
+#: monotonically numbers anonymous sessions for provenance labels.
+_SESSION_COUNTER = itertools.count(1)
+
+
+def _run_args(args: tuple) -> tuple:
+    """Fresh per-run copies so simulator write-backs never alias."""
+    return tuple(list(a) if isinstance(a, list) else a for a in args)
+
+
+class Session:
+    """Scoped service state: artifact store, pipeline, engines, defaults."""
+
+    def __init__(self, name: Optional[str] = None, *,
+                 pipeline: Optional[CompilePipeline] = None,
+                 store: Optional[ArtifactStore] = None,
+                 cache_dir: Optional[str] = None,
+                 engine: str = "interpreter",
+                 evaluation_engine: str = "cycle",
+                 opt_level: int = 2, unroll_factor: int = 4,
+                 seed: int = 1234, size: Optional[int] = None,
+                 workers: int = 0) -> None:
+        validate_engine(engine, "functional")
+        validate_engine(evaluation_engine, "evaluation")
+        if pipeline is not None:
+            if store is not None and store is not pipeline.store:
+                raise ValueError(
+                    "pass either a pipeline or a store, not two different "
+                    "ones: the session's store is its pipeline's store")
+            self.pipeline = pipeline
+        else:
+            store = store if store is not None else ArtifactStore(
+                cache_dir=cache_dir)
+            self.pipeline = CompilePipeline(store)
+        self.store = self.pipeline.store
+        self.name = name or f"session-{next(_SESSION_COUNTER)}"
+        #: default functional engine (run_reference, matrix cross-checks).
+        self.engine = engine
+        #: default Evaluator measurement engine for design-space work.
+        self.evaluation_engine = evaluation_engine
+        self.opt_level = opt_level
+        self.unroll_factor = unroll_factor
+        self.seed = seed
+        self.size = size
+        #: process-pool width for batched design-point fan-out.
+        self.workers = workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._jobs: List[Job] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Defaults plumbing.
+    # ------------------------------------------------------------------
+    def _opt(self, value: Optional[int]) -> int:
+        return self.opt_level if value is None else value
+
+    def _unroll(self, value: Optional[int]) -> int:
+        return self.unroll_factor if value is None else value
+
+    def _seed(self, value: Optional[int]) -> int:
+        return self.seed if value is None else value
+
+    def _size(self, value: Optional[int]) -> Optional[int]:
+        return self.size if value is None else value
+
+    # ------------------------------------------------------------------
+    # Classic driver objects, bound to this session.
+    # ------------------------------------------------------------------
+    def toolchain(self, machine, *, opt_level: Optional[int] = None,
+                  unroll_factor: Optional[int] = None,
+                  engine: Optional[str] = None, library=None):
+        """A :class:`~repro.toolchain.Toolchain` on this session's pipeline."""
+        from ..toolchain.driver import Toolchain
+
+        return Toolchain(
+            resolve_machine(machine), opt_level=self._opt(opt_level),
+            unroll_factor=self._unroll(unroll_factor), library=library,
+            engine=engine if engine is not None else self.engine,
+            pipeline=self.pipeline)
+
+    def evaluator(self, mix, *, size: Optional[int] = None,
+                  opt_level: Optional[int] = None,
+                  seed: Optional[int] = None,
+                  engine: Optional[str] = None):
+        """A :class:`~repro.dse.Evaluator` on this session's pipeline."""
+        from ..dse.objectives import Evaluator
+        from ..workloads.suite import get_mix
+
+        if isinstance(mix, str):
+            mix = get_mix(mix)
+        return Evaluator(
+            mix, size=self._size(size), opt_level=self._opt(opt_level),
+            seed=self._seed(seed),
+            engine=engine if engine is not None else self.evaluation_engine,
+            pipeline=self.pipeline)
+
+    def batch_evaluator(self, evaluator, *, workers: Optional[int] = None,
+                        cache_dir: Optional[str] = None):
+        """A :class:`~repro.exec.BatchEvaluator` over this session's store."""
+        from ..exec.batch import BatchEvaluator
+
+        return BatchEvaluator(
+            evaluator, workers=self.workers if workers is None else workers,
+            cache_dir=cache_dir, store=self.store)
+
+    def explorer(self, evaluator, *, objective: str = "perf_per_area",
+                 workers: Optional[int] = None,
+                 search_seed: Optional[int] = None):
+        """An :class:`~repro.dse.Explorer` batching through this session."""
+        from ..dse.explorer import Explorer
+
+        batch = self.batch_evaluator(evaluator, workers=workers)
+        kwargs = {} if search_seed is None else {"seed": search_seed}
+        return Explorer(evaluator, objective=objective, batch=batch, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Request execution.
+    # ------------------------------------------------------------------
+    _HANDLERS = {
+        CompileRequest.kind: "_execute_compile",
+        RunRequest.kind: "_execute_run",
+        CustomizeRequest.kind: "_execute_customize",
+        ExploreRequest.kind: "_execute_explore",
+        MatrixRequest.kind: "_execute_matrix",
+        PopulationRequest.kind: "_execute_population",
+    }
+
+    def execute(self, request):
+        """Execute one request synchronously; returns its response."""
+        handler = self._HANDLERS.get(getattr(request, "kind", None))
+        if handler is None:
+            raise TypeError(
+                f"unsupported request {type(request).__name__!r}; known "
+                f"kinds: {', '.join(sorted(self._HANDLERS))}")
+        return getattr(self, handler)(request)
+
+    def submit(self, request) -> Job:
+        """Queue one request; returns a future-backed :class:`Job`."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, self.workers),
+                    thread_name_prefix=f"{self.name}-job")
+            job_id = f"{self.name}/job-{len(self._jobs) + 1}"
+            future = self._executor.submit(self.execute, request)
+            job = Job(job_id, request, future)
+            self._jobs.append(job)
+        return job
+
+    def run_batch(self, requests: Sequence) -> List:
+        """Submit a mixed request list; responses in request order.
+
+        Any job failure propagates when its response is collected, after
+        every job has been submitted.
+        """
+        jobs = [self.submit(request) for request in requests]
+        return [job.result() for job in jobs]
+
+    @property
+    def jobs(self) -> List[Job]:
+        return list(self._jobs)
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-stage artifact-store counters (compile + evaluation)."""
+        return self.store.stats_dict()
+
+    def close(self) -> None:
+        """Shut down the job executor (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session({self.name!r}, engine={self.engine!r}, "
+                f"evaluation_engine={self.evaluation_engine!r}, "
+                f"jobs={len(self._jobs)})")
+
+    # ------------------------------------------------------------------
+    # Handlers.
+    # ------------------------------------------------------------------
+    def _provenance(self, engine: str, started: float,
+                    records=None, extra_cache: Optional[Dict] = None
+                    ) -> Provenance:
+        cache: Dict[str, object] = {"pipeline": self.pipeline.stats()}
+        if extra_cache:
+            cache.update(extra_cache)
+        return Provenance(
+            session=self.name, engine=engine,
+            elapsed_s=round(time.perf_counter() - started, 6),
+            stages=[asdict(record) for record in (records or [])],
+            cache=cache)
+
+    def _request_kernel(self, name: str):
+        from ..workloads.kernels import get_kernel
+
+        return get_kernel(name)
+
+    def _execute_compile(self, request: CompileRequest) -> CompileResponse:
+        from ..backend.asm import render_assembly
+
+        started = time.perf_counter()
+        machine = resolve_machine(request.machine)
+        if request.kernel:
+            kernel = self._request_kernel(request.kernel)
+            source, name = kernel.source, request.name or kernel.name
+        else:
+            source, name = request.source, request.name or "module"
+        _module, compiled, report, backend_key = self.pipeline.build(
+            source, machine, name=name, opt_level=self._opt(request.opt_level),
+            unroll_factor=self._unroll(request.unroll_factor))
+        return CompileResponse(
+            module=name, machine=machine.name, backend_key=backend_key,
+            functions=report.functions,
+            code_bytes=report.code.bytes_effective if report.code else 0,
+            spilled_registers=report.spilled_registers,
+            assembly=render_assembly(compiled),
+            provenance=self._provenance("", started, report.stages))
+
+    def _execute_run(self, request: RunRequest) -> RunResponse:
+        started = time.perf_counter()
+        machine = resolve_machine(request.machine)
+        kernel = self._request_kernel(request.kernel)
+        args = kernel.arguments(self._size(request.size),
+                                seed=self._seed(request.seed))
+        expected = kernel.expected(args)
+        opt_level = self._opt(request.opt_level)
+
+        if request.engine == "cycle":
+            toolchain = self.toolchain(machine, opt_level=opt_level)
+            artifacts = toolchain.build(kernel.source, name=kernel.name)
+            result = toolchain.run(artifacts, kernel.entry, *_run_args(args))
+            return RunResponse(
+                kernel=kernel.name, machine=machine.name, engine="cycle",
+                correct=result.value == expected, value=result.value,
+                expected=expected, cycles=result.cycles,
+                time_us=result.time_us, energy_uj=result.energy_uj,
+                ipc=result.stats.ipc,
+                instructions=result.stats.operations_executed,
+                provenance=self._provenance("cycle", started,
+                                            artifacts.report.stages))
+
+        from ..exec.engine import make_functional_simulator
+
+        module, records = self.pipeline.front(
+            kernel.source, kernel.name, opt_level=opt_level,
+            unroll_factor=self.unroll_factor)
+        simulator = make_functional_simulator(module, engine=request.engine)
+        value = simulator.run(kernel.entry, *_run_args(args))
+        return RunResponse(
+            kernel=kernel.name, machine=machine.name, engine=request.engine,
+            correct=value == expected, value=value, expected=expected,
+            instructions=simulator.profile.instructions_executed,
+            provenance=self._provenance(request.engine, started, records))
+
+    def _execute_customize(self, request: CustomizeRequest
+                           ) -> CustomizeResponse:
+        started = time.perf_counter()
+        machine = resolve_machine(request.machine)
+        kernel = self._request_kernel(request.kernel)
+        opt_level = self._opt(request.opt_level)
+        args = kernel.arguments(self._size(request.size),
+                                seed=self._seed(request.seed))
+        expected = kernel.expected(args)
+
+        toolchain = self.toolchain(machine, opt_level=opt_level)
+        module = toolchain.frontend(kernel.source, kernel.name)
+        base_artifacts = toolchain.build(module.clone())
+        base = toolchain.run(base_artifacts, kernel.entry, *_run_args(args))
+
+        custom_toolchain = toolchain.customize(
+            module, area_budget_kgates=request.area_budget_kgates,
+            max_operations=request.max_operations, name=request.name,
+            profile_entry=kernel.entry, profile_args=_run_args(args))
+        result = custom_toolchain.last_customization
+        custom_artifacts = custom_toolchain.build(module)
+        custom = custom_toolchain.run(custom_artifacts, kernel.entry,
+                                      *_run_args(args))
+        return CustomizeResponse(
+            kernel=kernel.name, base_machine=machine.name,
+            custom_machine=custom_toolchain.machine.name,
+            selected_ops=list(result.report.selected_names),
+            area_added_kgates=result.report.area_added_kgates,
+            base_cycles=base.cycles, custom_cycles=custom.cycles,
+            speedup=(base.cycles / custom.cycles if custom.cycles else 0.0),
+            correct=(base.value == expected and custom.value == expected),
+            summary=result.report.summary(),
+            provenance=self._provenance(
+                "cycle", started,
+                base_artifacts.report.stages + custom_artifacts.report.stages))
+
+    def _execute_explore(self, request: ExploreRequest) -> ExploreResponse:
+        from ..dse.space import DesignSpace
+
+        started = time.perf_counter()
+        engine = (request.engine if request.engine is not None
+                  else self.evaluation_engine)
+        evaluator = self.evaluator(
+            request.mix, size=request.size, opt_level=request.opt_level,
+            seed=request.seed, engine=engine)
+        explorer = self.explorer(evaluator, objective=request.objective,
+                                 workers=request.workers,
+                                 search_seed=request.search_seed)
+        if request.space is None:
+            space = DesignSpace.small()
+        else:
+            space = DesignSpace(**{axis: tuple(choices)
+                                   for axis, choices in request.space.items()})
+
+        if request.strategy == "exhaustive":
+            result = explorer.exhaustive(space)
+        elif request.strategy == "greedy":
+            result = explorer.greedy(space, max_rounds=request.max_rounds)
+        else:
+            result = explorer.annealing(space, iterations=request.iterations)
+
+        exported = result.to_dict()
+        return ExploreResponse(
+            mix=evaluator.mix.name, strategy=request.strategy,
+            objective=request.objective, engine=engine,
+            points_evaluated=result.points_evaluated,
+            best=exported["best"], knee=exported["knee"],
+            pareto=exported["pareto"], rows=exported["rows"],
+            provenance=self._provenance(
+                engine, started,
+                extra_cache={"batch": explorer.batch.stats.as_dict()}))
+
+    def _execute_matrix(self, request: MatrixRequest) -> MatrixResponse:
+        from ..toolchain.matrix import run_matrix
+
+        started = time.perf_counter()
+        engine = request.engine if request.engine is not None else self.engine
+        machines = [resolve_machine(machine) for machine in request.machines]
+        report = run_matrix(
+            machines, kernel_names=request.kernels,
+            size=self._size(request.size),
+            opt_level=self._opt(request.opt_level),
+            seed=self._seed(request.seed), engine=engine,
+            pipeline=self.pipeline)
+        exported = report.to_dict()
+        return MatrixResponse(
+            machines=exported["machines"], kernels=exported["kernels"],
+            engine=engine, pass_rate=report.pass_rate(),
+            all_correct=report.all_correct, rows=exported["rows"],
+            failures=exported["failures"],
+            provenance=self._provenance(engine, started))
+
+    def _execute_population(self, request: PopulationRequest
+                            ) -> PopulationResponse:
+        from ..gen.population import WorkloadPopulation
+
+        started = time.perf_counter()
+        population = WorkloadPopulation.generate(
+            request.count, seed=request.seed, families=request.families)
+        opt_level = self._opt(request.opt_level)
+        valid: Optional[int] = None
+        with population:
+            if request.validate_population:
+                validated = population.validate(
+                    size=request.size, opt_level=opt_level,
+                    pipeline=self.pipeline)
+                valid = sum(validated.values())
+            report = population.report(
+                budget=request.budget_kgates, engine=request.engine,
+                size=request.size, opt_level=opt_level,
+                kernels_per_family=request.kernels_per_family,
+                workers=(self.workers if request.workers is None
+                         else request.workers),
+                pipeline=self.pipeline)
+        return PopulationResponse(
+            count=len(population), seed=request.seed,
+            families=population.families(), valid=valid, report=report,
+            provenance=self._provenance(request.engine, started))
+
+
+# ----------------------------------------------------------------------
+# The process-wide default session.
+# ----------------------------------------------------------------------
+
+_DEFAULT_SESSION: Optional[Session] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide session (created on first use).
+
+    This is what un-injected entry points (``Toolchain()`` without a
+    pipeline, ``run_matrix`` and the workload helpers) share, so family
+    members built through any of them reuse one artifact store — the
+    behaviour the deprecated ``global_compile_pipeline()`` used to
+    provide.
+    """
+    global _DEFAULT_SESSION
+    with _DEFAULT_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = Session(name="default")
+        return _DEFAULT_SESSION
+
+
+def default_pipeline() -> CompilePipeline:
+    """The default session's compile pipeline (internal fallback)."""
+    return default_session().pipeline
+
+
+def reset_default_session() -> None:
+    """Drop the process-wide session (tests and benchmarks)."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_LOCK:
+        session, _DEFAULT_SESSION = _DEFAULT_SESSION, None
+    if session is not None:
+        session.close()

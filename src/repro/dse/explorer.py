@@ -17,6 +17,7 @@ paper describes the table-driven toolchain enabling.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
 import random
 from dataclasses import dataclass, field
@@ -33,6 +34,9 @@ OBJECTIVES: Dict[str, Callable[[Evaluation], float]] = {
     "perf_per_area": lambda e: e.perf_per_area,
     "perf_per_watt": lambda e: e.perf_per_watt,
 }
+
+#: version of ExplorationResult's exported dict/JSON form.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -64,6 +68,28 @@ class ExplorationResult:
         rows = [e.summary_row() for e in self.evaluations]
         rows.sort(key=lambda r: (-int(r["feasible"]), r["time_us"]))
         return rows
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for printing or JSON export (alias of table)."""
+        return self.table()
+
+    def to_dict(self) -> Dict[str, object]:
+        """Schema-versioned, JSON-representable form of the whole run."""
+        knee = self.knee()
+        return {
+            "kind": "exploration_result",
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "objective": self.objective,
+            "points_evaluated": self.points_evaluated,
+            "best": self.best.summary_row() if self.best else None,
+            "knee": knee.summary_row() if knee else None,
+            "pareto": [e.machine.name for e in
+                       sorted(self.pareto(), key=lambda e: e.area_kgates)],
+            "rows": self.to_rows(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
 
 class Explorer:

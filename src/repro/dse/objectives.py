@@ -38,7 +38,7 @@ from ..backend.mcode import CompiledModule
 from ..exec.engine import CompiledSimulator
 from ..exec.registry import EVALUATION_ENGINES, validate_engine
 from ..ir import Opcode
-from ..pipeline import CompilePipeline, global_compile_pipeline
+from ..pipeline import CompilePipeline
 from ..sim.cycle import CycleSimulator
 from ..sim.functional import ExecutionProfile
 from ..workloads.kernels import Kernel
@@ -136,11 +136,15 @@ class Evaluator:
         self.seed = seed
         self.engine = engine
         #: staged compile pipeline shared across design points (and, via
-        #: the process-wide default, across evaluators): the machine-
+        #: the default session, across evaluators): the machine-
         #: independent front half runs once per kernel, and scheduled
         #: code is reused between machines with equal backend axes.
-        self.pipeline = (pipeline if pipeline is not None
-                         else global_compile_pipeline())
+        if pipeline is not None:
+            self.pipeline = pipeline
+        else:
+            from ..api.session import default_pipeline
+
+            self.pipeline = default_pipeline()
         # Pre-compile the machine-independent IR once per kernel.
         self._modules = {}
         for kernel, weight in mix.kernels():

@@ -170,15 +170,15 @@ def characterize_kernel(generated, size: Optional[int] = None, seed: int = 1234,
                         pipeline=None) -> WorkloadCharacterization:
     """Compile, run and characterize one :class:`GeneratedKernel`.
 
-    The module is compiled through the staged pipeline (the process-wide
-    one unless ``pipeline`` is passed), run once on ``engine`` against
+    The module is compiled through the staged pipeline (the default
+    session's unless ``pipeline`` is passed), run once on ``engine`` against
     the kernel's oracle (a mismatch raises), and reduced to one
     :class:`WorkloadCharacterization`.
     """
+    from ..api.session import default_pipeline
     from ..exec.engine import make_functional_simulator
-    from ..pipeline import global_compile_pipeline
 
-    pipeline = pipeline if pipeline is not None else global_compile_pipeline()
+    pipeline = pipeline if pipeline is not None else default_pipeline()
     kernel = generated.kernel
     module, _records = pipeline.front(kernel.source, kernel.name,
                                       opt_level=opt_level)

@@ -139,11 +139,10 @@ class WorkloadPopulation:
                  opt_level: int = 2, pipeline=None) -> Dict[str, bool]:
         """Run every kernel on every engine; True iff all values match the
         oracle (and therefore each other bit-identically)."""
+        from ..api.session import default_pipeline
         from ..exec.engine import make_functional_simulator
-        from ..pipeline import global_compile_pipeline
 
-        pipeline = (pipeline if pipeline is not None
-                    else global_compile_pipeline())
+        pipeline = pipeline if pipeline is not None else default_pipeline()
         results: Dict[str, bool] = {}
         for gk in self.generated:
             kernel = gk.kernel
@@ -230,12 +229,13 @@ class WorkloadPopulation:
 
     def report(self, budget: float = 32.0, engine: str = "compiled",
                size: Optional[int] = None, opt_level: int = 2,
-               kernels_per_family: int = 3, pipeline=None) -> Dict[str, object]:
+               kernels_per_family: int = 3, workers: int = 0,
+               pipeline=None) -> Dict[str, object]:
         """Characterize and sweep the whole population, grouped by family.
 
         ``pipeline`` is threaded through characterization and evaluation,
         so a caller that already warmed a private compile pipeline keeps
-        every front-half artifact (the default is the process-wide one).
+        every front-half artifact (the default session's otherwise).
         """
         characterizations = self.characterize_all(size=size,
                                                   opt_level=opt_level,
@@ -250,7 +250,7 @@ class WorkloadPopulation:
             gain = self.customization_gain(
                 family, budget=budget, engine=engine, size=size,
                 opt_level=opt_level, kernels_per_family=kernels_per_family,
-                pipeline=pipeline)
+                workers=workers, pipeline=pipeline)
             count = max(1, len(members))
             row = {
                 "family": family,

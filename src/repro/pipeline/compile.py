@@ -247,20 +247,41 @@ class CompilePipeline:
         return self.store.stats_dict()
 
 
-#: process-wide pipeline shared by Toolchain, the workload suite and the
-#: evaluators unless a private one is supplied.
-_GLOBAL_PIPELINE: Optional[CompilePipeline] = None
-
+# ----------------------------------------------------------------------
+# Deprecated process-global accessors.
+#
+# The process-wide pipeline now lives on the default service session
+# (:mod:`repro.api.session`); these shims keep the old spelling working.
+# ----------------------------------------------------------------------
 
 def global_compile_pipeline() -> CompilePipeline:
-    """Return the process-wide compile pipeline (created on first use)."""
-    global _GLOBAL_PIPELINE
-    if _GLOBAL_PIPELINE is None:
-        _GLOBAL_PIPELINE = CompilePipeline()
-    return _GLOBAL_PIPELINE
+    """Deprecated: the default session's pipeline.
+
+    Use ``repro.api.default_session().pipeline`` (or construct a private
+    :class:`~repro.api.Session`) instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "global_compile_pipeline() is deprecated; use "
+        "repro.api.default_session().pipeline or a private Session",
+        DeprecationWarning, stacklevel=2)
+    from ..api.session import default_pipeline
+
+    return default_pipeline()
 
 
 def reset_global_compile_pipeline() -> None:
-    """Drop the process-wide pipeline (used by tests and benchmarks)."""
-    global _GLOBAL_PIPELINE
-    _GLOBAL_PIPELINE = None
+    """Deprecated: drop the default session (and with it, its pipeline).
+
+    Use ``repro.api.reset_default_session()`` instead.
+    """
+    import warnings
+
+    warnings.warn(
+        "reset_global_compile_pipeline() is deprecated; use "
+        "repro.api.reset_default_session()",
+        DeprecationWarning, stacklevel=2)
+    from ..api.session import reset_default_session
+
+    reset_default_session()

@@ -25,7 +25,7 @@ from ..core.library import ExtensionLibrary, global_extension_library
 from ..core.selection import SelectionConfig
 from ..exec.registry import validate_engine
 from ..ir import Module
-from ..pipeline import CompilePipeline, global_compile_pipeline
+from ..pipeline import CompilePipeline
 from ..sim.cycle import CycleSimulator, SimulationResult
 from ..sim.functional import FunctionalSimulator
 
@@ -95,10 +95,15 @@ class Toolchain:
         #: functional-execution engine used by run_reference:
         #: "interpreter" (reference oracle) or "compiled" (threaded code).
         self.engine = engine
-        #: staged compile pipeline; the process-wide one by default, so
-        #: toolchains for different family members share the machine-
-        #: independent half of every compile.
-        self.pipeline = pipeline if pipeline is not None else global_compile_pipeline()
+        #: staged compile pipeline; the default service session's by
+        #: default, so toolchains for different family members share the
+        #: machine-independent half of every compile.
+        if pipeline is not None:
+            self.pipeline = pipeline
+        else:
+            from ..api.session import default_pipeline
+
+            self.pipeline = default_pipeline()
 
     # ------------------------------------------------------------------
     # Front end + optimizer.

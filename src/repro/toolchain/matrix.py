@@ -10,14 +10,17 @@ suite and the raw data for experiment E5.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..arch.machine import MachineDescription
-from ..pipeline import global_compile_pipeline
+from ..exec.registry import validate_engine
 from ..sim.cycle import CycleSimulator
-from ..sim.functional import FunctionalSimulator
 from ..workloads.kernels import KERNELS, Kernel, get_kernel
+
+#: version of MatrixReport's exported dict/JSON form.
+REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -39,6 +42,8 @@ class MatrixReport:
     """All cells of one N×M run plus summary helpers."""
 
     cells: List[MatrixCell] = field(default_factory=list)
+    #: functional cross-check engine the run used.
+    engine: str = "interpreter"
 
     def cell(self, machine: str, kernel: str) -> MatrixCell:
         for cell in self.cells:
@@ -89,16 +94,52 @@ class MatrixReport:
             for cell in self.cells
         ]
 
+    def to_dict(self) -> Dict[str, object]:
+        """Schema-versioned, JSON-representable form of the whole run."""
+        return {
+            "kind": "matrix_report",
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "engine": self.engine,
+            "machines": self.machines,
+            "kernels": self.kernels,
+            "cells": len(self.cells),
+            "pass_rate": round(self.pass_rate(), 4),
+            "all_correct": self.all_correct,
+            "rows": self.to_rows(),
+            "failures": [
+                {"machine": cell.machine, "kernel": cell.kernel,
+                 "error": cell.error}
+                for cell in self.failures
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
 
 def run_matrix(machines: Sequence[MachineDescription],
                kernel_names: Optional[Iterable[str]] = None,
                size: Optional[int] = None,
                opt_level: int = 2,
-               seed: int = 1234) -> MatrixReport:
-    """Compile and validate every kernel on every machine."""
+               seed: int = 1234,
+               engine: str = "interpreter",
+               pipeline=None) -> MatrixReport:
+    """Compile and validate every kernel on every machine.
+
+    ``engine`` selects the functional cross-check engine through the
+    unified registry ("interpreter" or "compiled"); ``pipeline`` injects
+    a staged compile pipeline (the default session's when None), so a
+    matrix sweep shares artifacts with whatever warmed the session.
+    """
+    validate_engine(engine, "functional")
+    from ..exec.engine import make_functional_simulator
+
     names = sorted(kernel_names) if kernel_names is not None else sorted(KERNELS)
-    report = MatrixReport()
-    pipeline = global_compile_pipeline()
+    report = MatrixReport(engine=engine)
+    if pipeline is None:
+        from ..api.session import default_pipeline
+
+        pipeline = default_pipeline()
 
     for machine in machines:
         for name in names:
@@ -111,7 +152,8 @@ def run_matrix(machines: Sequence[MachineDescription],
                                                   opt_level=opt_level)
 
                 # Cross-check 1: functional simulation vs. the Python oracle.
-                reference = FunctionalSimulator(module.clone())
+                reference = make_functional_simulator(module.clone(),
+                                                      engine=engine)
                 ref_args = tuple(list(a) if isinstance(a, list) else a for a in args)
                 ref_value = reference.run(kernel.entry, *ref_args)
 

@@ -20,15 +20,15 @@ def compile_kernel(name: str, pipeline=None) -> Module:
     """Compile one kernel's C source to an IR module named after it.
 
     Served from the staged compile pipeline's content-addressed frontend
-    stage (the process-wide pipeline unless one is passed), so repeated
+    stage (the default session's pipeline unless one is passed), so repeated
     compiles of the same kernel parse its C source exactly once.  The
     returned module is a private clone the caller may freely optimize or
     rewrite.
     """
-    from ..pipeline import global_compile_pipeline
+    from ..api.session import default_pipeline
 
     kernel = get_kernel(name)
-    pipeline = pipeline if pipeline is not None else global_compile_pipeline()
+    pipeline = pipeline if pipeline is not None else default_pipeline()
     module, _record = pipeline.frontend(kernel.source, kernel.name)
     return module
 

@@ -1,0 +1,470 @@
+"""Tests for the repro.api service façade.
+
+Covers, per the PR-4 acceptance criteria:
+
+* JSON round-trips (object → JSON → object → JSON, plus golden literals)
+  for all six request kinds and for responses;
+* request validation errors (the service rejects malformed work at the
+  boundary);
+* Session isolation (separate artifact stores) and the deprecated
+  global-pipeline shims;
+* bit-identical equivalence between ``Session.submit`` execution and the
+  direct ``Toolchain`` / ``Explorer`` / ``run_matrix`` /
+  ``WorkloadPopulation`` call paths;
+* the job layer (status transitions, error capture, mixed batches);
+* Toolchain driver error paths (bad source, unknown kernel, infeasible
+  budget);
+* the engine selector threaded through ``run_matrix`` and the
+  ``to_json``/``to_rows`` export helpers;
+* the ``python -m repro`` CLI (flags and request-file modes).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    CompileRequest, CustomizeRequest, ExploreRequest, MatrixRequest,
+    PopulationRequest, Provenance, RunRequest, SchemaError, Session,
+    default_session, request_from_dict, request_from_json, resolve_machine,
+    response_from_json,
+)
+from repro.api.cli import main as cli_main
+from repro.arch import dsp_core, risc_baseline, vliw4
+from repro.dse import DesignSpace, Evaluator, Explorer
+from repro.frontend.c_frontend import CFrontendError
+from repro.gen import WorkloadPopulation
+from repro.pipeline import CompilePipeline, global_compile_pipeline
+from repro.toolchain import Toolchain, run_matrix
+from repro.workloads import get_kernel, get_mix
+
+
+def _copies(args):
+    return tuple(list(a) if isinstance(a, list) else a for a in args)
+
+
+ALL_REQUESTS = [
+    CompileRequest(kernel="sad16", machine="dsp16", opt_level=3),
+    RunRequest(kernel="dot_product", machine="vliw8", size=32, seed=7,
+               engine="compiled"),
+    CustomizeRequest(kernel="viterbi_acs", machine="vliw4",
+                     area_budget_kgates=24.0, max_operations=4, size=48),
+    ExploreRequest(mix="video", strategy="annealing", objective="performance",
+                   size=24, engine="compiled", iterations=12,
+                   space={"issue_widths": [1, 2], "register_counts": [32]}),
+    MatrixRequest(machines=["vliw4", {"issue_width": 2, "registers": 32}],
+                  kernels=["dot_product", "crc32"], size=16),
+    PopulationRequest(count=4, seed=3, families=["reduction", "table_lookup"],
+                      budget_kgates=16.0, kernels_per_family=2),
+]
+
+
+class TestRequestRoundTrips:
+    @pytest.mark.parametrize("request_obj", ALL_REQUESTS,
+                             ids=[r.kind for r in ALL_REQUESTS])
+    def test_json_round_trip_identity(self, request_obj):
+        text = request_obj.to_json()
+        rebuilt = request_from_json(text)
+        assert rebuilt == request_obj
+        assert rebuilt.to_json() == text          # stable fixed point
+        data = json.loads(text)
+        assert data["kind"] == request_obj.kind
+        assert data["schema_version"] == 1
+
+    def test_golden_matrix_request(self):
+        golden = json.dumps({
+            "kind": "matrix", "schema_version": 1,
+            "machines": ["vliw4", "risc_baseline"],
+            "kernels": ["dot_product"], "size": 16, "seed": None,
+            "opt_level": None, "engine": None,
+        }, sort_keys=True)
+        request = request_from_json(golden)
+        assert request == MatrixRequest(machines=["vliw4", "risc_baseline"],
+                                        kernels=["dot_product"], size=16)
+        assert request.to_json() == golden
+
+    def test_golden_run_request(self):
+        golden = json.dumps({
+            "kind": "run", "schema_version": 1, "kernel": "crc32",
+            "machine": {"issue_width": 2, "registers": 32},
+            "size": 64, "seed": 9, "opt_level": 2, "engine": "interpreter",
+        }, sort_keys=True)
+        request = request_from_json(golden)
+        assert request == RunRequest(
+            kernel="crc32", machine={"issue_width": 2, "registers": 32},
+            size=64, seed=9, opt_level=2, engine="interpreter")
+        assert request.to_json() == golden
+
+    def test_unknown_fields_are_ignored(self):
+        data = RunRequest(kernel="crc32").to_dict()
+        data["a_future_field"] = True
+        assert request_from_dict(data) == RunRequest(kernel="crc32")
+
+    def test_unknown_kind_and_bad_version_rejected(self):
+        with pytest.raises(SchemaError):
+            request_from_dict({"kind": "teleport"})
+        with pytest.raises(SchemaError):
+            request_from_dict({"kind": "run", "kernel": "crc32",
+                               "schema_version": 99})
+        with pytest.raises(SchemaError):
+            MatrixRequest.from_dict({"kind": "run", "kernel": "crc32"})
+
+
+class TestRequestValidation:
+    def test_compile_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            CompileRequest()
+        with pytest.raises(ValueError):
+            CompileRequest(kernel="sad16", source="int f() { return 1; }")
+
+    def test_run_rejects_bad_engine_and_missing_kernel(self):
+        with pytest.raises(ValueError):
+            RunRequest(kernel="crc32", engine="warp")
+        with pytest.raises(ValueError):
+            RunRequest()
+
+    def test_customize_rejects_infeasible_budget(self):
+        with pytest.raises(ValueError, match="[Ii]nfeasible"):
+            CustomizeRequest(kernel="sad16", area_budget_kgates=0.0)
+        with pytest.raises(ValueError, match="[Ii]nfeasible"):
+            CustomizeRequest(kernel="sad16", area_budget_kgates=-5.0)
+
+    def test_explore_rejects_bad_strategy_objective_axis(self):
+        with pytest.raises(ValueError):
+            ExploreRequest(strategy="telepathic")
+        with pytest.raises(ValueError):
+            ExploreRequest(objective="vibes")
+        with pytest.raises(ValueError):
+            ExploreRequest(space={"warp_factors": [9]})
+
+    def test_matrix_needs_serializable_machines(self):
+        with pytest.raises(ValueError):
+            MatrixRequest(machines=[])
+        with pytest.raises(ValueError):
+            MatrixRequest(machines=[vliw4()])
+
+    def test_population_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            PopulationRequest(families=["quantum"])
+        with pytest.raises(ValueError):
+            PopulationRequest(count=0)
+
+    def test_resolve_machine_aliases_and_points(self):
+        assert resolve_machine("risc_baseline").name == "risc32"
+        assert resolve_machine("vliw4").issue_width == 4
+        point = resolve_machine({"issue_width": 2, "registers": 32})
+        assert point.issue_width == 2
+        with pytest.raises(KeyError):
+            resolve_machine("warp9")
+        with pytest.raises(TypeError):
+            resolve_machine(42)
+
+
+class TestSessionIsolation:
+    def test_sessions_do_not_share_stores(self):
+        with Session() as one, Session() as two:
+            assert one.store is not two.store
+            assert one.pipeline is not two.pipeline
+            one.execute(CompileRequest(kernel="dot_product"))
+            assert len(one.store) > 0
+            assert len(two.store) == 0
+
+    def test_default_session_backs_uninjected_entry_points(self):
+        session = default_session()
+        assert default_session() is session
+        toolchain = Toolchain(vliw4())
+        assert toolchain.pipeline is session.pipeline
+
+    def test_global_pipeline_shim_is_deprecated_but_working(self):
+        with pytest.deprecated_call():
+            pipeline = global_compile_pipeline()
+        assert pipeline is default_session().pipeline
+
+    def test_session_rejects_mismatched_store_and_pipeline(self):
+        pipeline = CompilePipeline()
+        from repro.pipeline import ArtifactStore
+        with pytest.raises(ValueError):
+            Session(pipeline=pipeline, store=ArtifactStore())
+        session = Session(pipeline=pipeline)
+        assert session.store is pipeline.store
+
+
+class TestSubmitEquivalence:
+    """Session.submit must be bit-identical to the direct call paths."""
+
+    def test_compile_matches_direct_toolchain(self):
+        from repro.backend.asm import render_assembly
+
+        with Session() as session:
+            response = session.submit(CompileRequest(
+                kernel="sad16", machine="dsp_core", opt_level=2)).result()
+        toolchain = Toolchain(dsp_core(), opt_level=2,
+                              pipeline=CompilePipeline())
+        artifacts = toolchain.build(get_kernel("sad16").source, name="sad16")
+        assert response.backend_key == artifacts.backend_key
+        assert response.assembly == render_assembly(artifacts.compiled)
+        assert response.code_bytes == artifacts.report.code.bytes_effective
+        assert response.machine == "dsp16"
+
+    def test_run_matches_direct_toolchain(self):
+        kernel = get_kernel("viterbi_acs")
+        args = kernel.arguments(24, seed=1234)
+        with Session() as session:
+            response = session.submit(RunRequest(
+                kernel="viterbi_acs", machine="vliw4", size=24,
+                opt_level=2)).result()
+        toolchain = Toolchain(vliw4(), opt_level=2, pipeline=CompilePipeline())
+        artifacts = toolchain.build(kernel.source, name=kernel.name)
+        result = toolchain.run(artifacts, kernel.entry, *_copies(args))
+        assert response.correct
+        assert response.value == result.value
+        assert response.cycles == result.cycles
+        assert response.energy_uj == result.energy_uj
+        assert response.ipc == result.stats.ipc
+
+    def test_run_functional_engines_match_oracle(self):
+        with Session() as session:
+            interp, compiled = session.run_batch([
+                RunRequest(kernel="crc32", size=64, engine="interpreter"),
+                RunRequest(kernel="crc32", size=64, engine="compiled"),
+            ])
+        assert interp.correct and compiled.correct
+        assert interp.value == compiled.value
+        assert interp.instructions == compiled.instructions
+
+    def test_customize_matches_direct_toolchain(self):
+        kernel = get_kernel("viterbi_acs")
+        args = kernel.arguments(24, seed=1234)
+        # Both paths resolve custom-op semantics through the global
+        # extension library (content-named entries, so re-registration by
+        # the second customize is an idempotent overwrite).
+        toolchain = Toolchain(vliw4(), opt_level=2,
+                              pipeline=CompilePipeline())
+        module = toolchain.frontend(kernel.source, kernel.name)
+        base_artifacts = toolchain.build(module.clone())
+        base = toolchain.run(base_artifacts, kernel.entry, *_copies(args))
+        custom_toolchain = toolchain.customize(
+            module, area_budget_kgates=32.0, max_operations=4,
+            profile_entry=kernel.entry, profile_args=_copies(args))
+        custom_artifacts = custom_toolchain.build(module)
+        custom = custom_toolchain.run(custom_artifacts, kernel.entry,
+                                      *_copies(args))
+
+        with Session() as session:
+            response = session.submit(CustomizeRequest(
+                kernel="viterbi_acs", machine="vliw4",
+                area_budget_kgates=32.0, max_operations=4, size=24,
+                opt_level=2)).result()
+        assert response.correct
+        assert response.base_cycles == base.cycles
+        assert response.custom_cycles == custom.cycles
+        report = custom_toolchain.last_customization.report
+        assert response.selected_ops == report.selected_names
+        assert response.area_added_kgates == report.area_added_kgates
+
+    def test_explore_matches_direct_explorer(self):
+        axes = {"issue_widths": [1, 4], "register_counts": [64],
+                "cluster_counts": [1], "mul_unit_counts": [1],
+                "mem_unit_counts": [2]}
+        with Session() as session:
+            response = session.submit(ExploreRequest(
+                mix="video", strategy="exhaustive", objective="performance",
+                size=24, opt_level=2, seed=1234, engine="cycle",
+                space=axes)).result()
+        evaluator = Evaluator(get_mix("video"), size=24, opt_level=2,
+                              seed=1234, engine="cycle",
+                              pipeline=CompilePipeline())
+        explorer = Explorer(evaluator, objective="performance")
+        result = explorer.exhaustive(DesignSpace(
+            **{axis: tuple(choices) for axis, choices in axes.items()}))
+        assert response.rows == result.to_rows()
+        assert response.points_evaluated == result.points_evaluated
+        assert response.best == result.best.summary_row()
+        assert response.best["machine"] == result.best.machine.name
+
+    def test_matrix_matches_direct_run_matrix(self):
+        with Session() as session:
+            response = session.submit(MatrixRequest(
+                machines=["vliw4", "risc_baseline"],
+                kernels=["dot_product", "ip_checksum"], size=16,
+                opt_level=2)).result()
+        report = run_matrix([vliw4(), risc_baseline()],
+                            kernel_names=["dot_product", "ip_checksum"],
+                            size=16, opt_level=2,
+                            pipeline=CompilePipeline())
+        assert response.all_correct and report.all_correct
+        assert response.rows == report.to_rows()
+        assert response.machines == report.machines
+        assert response.kernels == report.kernels
+
+    def test_population_matches_direct_population(self):
+        request = PopulationRequest(count=3, seed=11, families=["reduction"],
+                                    budget_kgates=16.0, opt_level=2,
+                                    kernels_per_family=3)
+        with Session() as session:
+            response = session.submit(request).result()
+        population = WorkloadPopulation.generate(3, seed=11,
+                                                 families=["reduction"])
+        with population:
+            report = population.report(budget=16.0, engine="compiled",
+                                       opt_level=2, kernels_per_family=3,
+                                       pipeline=CompilePipeline())
+        assert response.valid == 3
+        assert response.report == report
+        assert response.families == ["reduction"]
+
+
+class TestJobs:
+    def test_mixed_batch_returns_in_request_order(self):
+        with Session() as session:
+            responses = session.run_batch([
+                RunRequest(kernel="dot_product", size=16),
+                MatrixRequest(machines=["vliw4"], kernels=["crc32"], size=16),
+            ])
+        assert responses[0].kind == "run.response"
+        assert responses[1].kind == "matrix.response"
+        assert all(job.status == "done" for job in session.jobs)
+
+    def test_job_captures_errors(self):
+        with Session() as session:
+            job = session.submit(RunRequest(kernel="no_such_kernel"))
+            with pytest.raises(KeyError):
+                job.result()
+            assert job.status == "error"
+            assert isinstance(job.exception(), KeyError)
+
+    def test_unsupported_request_type_rejected(self):
+        with Session() as session:
+            with pytest.raises(TypeError):
+                session.execute(object())
+
+
+class TestResponses:
+    def test_response_round_trip_with_provenance(self):
+        with Session() as session:
+            response = session.execute(RunRequest(kernel="dot_product",
+                                                  size=16))
+        rebuilt = response_from_json(response.to_json())
+        assert rebuilt == response
+        provenance = response.provenance
+        assert isinstance(provenance, Provenance)
+        assert provenance.schema_version == 1
+        assert provenance.session == session.name
+        assert provenance.engine == "cycle"
+        assert provenance.elapsed_s > 0
+        assert {record["stage"] for record in provenance.stages} >= {
+            "frontend", "optimize", "backend"}
+        assert all(isinstance(record["hit"], bool)
+                   for record in provenance.stages)
+        assert "pipeline" in provenance.cache
+
+    def test_compile_cache_hits_show_in_provenance(self):
+        with Session() as session:
+            request = CompileRequest(kernel="dot_product")
+            cold = session.execute(request)
+            warm = session.execute(request)
+        assert warm.backend_key == cold.backend_key
+        assert all(not record["hit"] for record in cold.provenance.stages)
+        assert all(record["hit"] for record in warm.provenance.stages)
+
+
+class TestDriverErrorPaths:
+    def test_bad_source_raises_frontend_error(self):
+        toolchain = Toolchain(vliw4(), pipeline=CompilePipeline())
+        with pytest.raises(CFrontendError):
+            toolchain.build("int broken(int x { return x; }")
+        with Session() as session:
+            job = session.submit(CompileRequest(
+                source="int broken(int x { return x; }"))
+            with pytest.raises(CFrontendError):
+                job.result()
+
+    def test_unknown_kernel_raises_key_error(self):
+        with Session() as session:
+            with pytest.raises(KeyError):
+                session.execute(CompileRequest(kernel="does_not_exist"))
+
+    def test_unknown_machine_preset_raises_key_error(self):
+        with Session() as session:
+            with pytest.raises(KeyError):
+                session.execute(RunRequest(kernel="crc32", machine="warp9"))
+
+    def test_session_validates_engines_up_front(self):
+        with pytest.raises(ValueError):
+            Session(engine="bogus")
+        with pytest.raises(ValueError):
+            Session(evaluation_engine="bogus")
+
+
+class TestMatrixEngineAndExports:
+    def test_matrix_compiled_engine_matches_interpreter(self):
+        kwargs = dict(kernel_names=["dot_product", "crc32"], size=16,
+                      opt_level=2)
+        interp = run_matrix([vliw4()], engine="interpreter",
+                            pipeline=CompilePipeline(), **kwargs)
+        compiled = run_matrix([vliw4()], engine="compiled",
+                              pipeline=CompilePipeline(), **kwargs)
+        assert interp.all_correct and compiled.all_correct
+        assert interp.to_rows() == compiled.to_rows()
+        assert compiled.engine == "compiled"
+
+    def test_run_matrix_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            run_matrix([vliw4()], engine="quantum")
+
+    def test_matrix_report_to_json(self):
+        report = run_matrix([vliw4()], kernel_names=["dot_product"], size=16,
+                            pipeline=CompilePipeline())
+        data = json.loads(report.to_json())
+        assert data["kind"] == "matrix_report"
+        assert data["schema_version"] == 1
+        assert data["all_correct"] is True
+        assert data["rows"] == json.loads(json.dumps(report.to_rows()))
+
+    def test_exploration_result_to_json(self):
+        evaluator = Evaluator(get_mix("video"), size=16, opt_level=2,
+                              pipeline=CompilePipeline())
+        explorer = Explorer(evaluator, objective="performance")
+        result = explorer.exhaustive(DesignSpace(
+            issue_widths=(1, 2), register_counts=(32,), cluster_counts=(1,),
+            mul_unit_counts=(1,), mem_unit_counts=(1,)))
+        data = json.loads(result.to_json())
+        assert data["kind"] == "exploration_result"
+        assert data["schema_version"] == 1
+        assert data["points_evaluated"] == result.points_evaluated
+        assert data["best"]["machine"] == result.best.machine.name
+        assert data["rows"] == json.loads(json.dumps(result.to_rows()))
+
+
+class TestCli:
+    def test_cli_matrix_emits_schema_versioned_json(self, capsys):
+        code = cli_main(["matrix", "--machines", "vliw4,risc_baseline",
+                         "--kernels", "dot_product", "--size", "16"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "matrix.response"
+        assert data["schema_version"] == 1
+        assert data["all_correct"] is True
+        assert data["machines"] == ["vliw4", "risc32"]
+
+    def test_cli_request_file_mode(self, tmp_path, capsys):
+        request_path = tmp_path / "request.json"
+        request_path.write_text(RunRequest(kernel="dot_product",
+                                           size=16).to_json())
+        output_path = tmp_path / "response.json"
+        code = cli_main(["run", "--kernel", "ignored", "--request",
+                         str(request_path), "--output", str(output_path)])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        data = json.loads(output_path.read_text())
+        assert data["kind"] == "run.response"
+        assert data["kernel"] == "dot_product"
+        assert data["correct"] is True
+
+    def test_cli_rejects_bad_request(self, capsys):
+        code = cli_main(["customize", "--kernel", "sad16",
+                         "--budget", "-1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
