@@ -1,0 +1,117 @@
+"""E12 — trace-based retiming vs. cycle simulation on the E5 N×M sweep.
+
+PR 2 made *compiling* a sweep cheap; this benchmark measures what the
+trace-based analytic model (:mod:`repro.model`) buys on the *evaluation*
+side.  The bench_e5 machine × kernel matrix is evaluated twice on one
+warm session (all compile artifacts and kernel traces in the store):
+
+* **cycle fidelity** — every cell runs the functional cross-check and
+  the cycle-accurate simulator (the pre-model baseline);
+* **trace fidelity** — every cell is priced analytically from its
+  kernel's one recorded trace; the profiled run doubles as the
+  functional oracle.
+
+The benchmark asserts a ≥20x warm speedup (the ISSUE-5 acceptance
+floor; typically far higher), full oracle agreement at both fidelities,
+exact agreement on code size and operation counts, and cycle estimates
+within the model's declared tolerance.  Results go to
+``BENCH_trace_model.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.api import Session
+from repro.arch import clustered_vliw4, dsp_core, risc_baseline, vliw2, vliw4, vliw8
+from repro.model import TRACE_CYCLE_TOLERANCE
+from repro.toolchain import run_matrix
+
+from conftest import print_table, run_once
+
+MACHINES = [risc_baseline(), vliw2(), vliw4(), vliw8(), clustered_vliw4(),
+            dsp_core()]
+KERNELS = ["dot_product", "saturated_add", "viterbi_acs", "sad16",
+           "rgb_to_gray", "ip_checksum", "histogram"]
+SIZE = 24
+
+#: acceptance floor for the warm trace-vs-cycle speedup (ISSUE 5).
+MIN_SPEEDUP = 20.0
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_trace_model.json"
+
+
+def _matrix(session, fidelity):
+    start = time.perf_counter()
+    report = run_matrix(MACHINES, kernel_names=KERNELS, size=SIZE,
+                        opt_level=2, fidelity=fidelity,
+                        pipeline=session.pipeline)
+    return time.perf_counter() - start, report
+
+
+def test_e12_trace_model(benchmark):
+    session = Session(name="bench-e12")
+
+    def experiment():
+        # Warm everything once: compile artifacts, traces, cache replays.
+        _matrix(session, "cycle")
+        _matrix(session, "trace")
+        # Measured, warm passes.
+        cycle_s, cycle_report = _matrix(session, "cycle")
+        trace_s, trace_report = _matrix(session, "trace")
+        return cycle_s, cycle_report, trace_s, trace_report
+
+    cycle_s, cycle_report, trace_s, trace_report = run_once(benchmark,
+                                                            experiment)
+    speedup = cycle_s / trace_s if trace_s > 0 else float("inf")
+
+    rows = []
+    worst_error = 0.0
+    for cycle_cell, trace_cell in zip(cycle_report.cells, trace_report.cells):
+        assert (cycle_cell.machine, cycle_cell.kernel) == \
+            (trace_cell.machine, trace_cell.kernel)
+        error = (abs(trace_cell.cycles - cycle_cell.cycles)
+                 / max(1, cycle_cell.cycles))
+        worst_error = max(worst_error, error)
+        rows.append({
+            "machine": cycle_cell.machine, "kernel": cycle_cell.kernel,
+            "cycle": cycle_cell.cycles, "trace": trace_cell.cycles,
+            "err%": round(100 * error, 3),
+        })
+    print_table("E12: per-cell cycles, cycle vs. trace fidelity", rows)
+    print(f"\nE12 summary: {len(rows)} cells "
+          f"({len(cycle_report.machines)} machines x "
+          f"{len(cycle_report.kernels)} kernels), warm cycle-fidelity "
+          f"{cycle_s * 1e3:.1f} ms vs trace-fidelity {trace_s * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x; worst cycle error "
+          f"{100 * worst_error:.3f}% (tolerance "
+          f"{100 * TRACE_CYCLE_TOLERANCE:.0f}%).")
+
+    OUTPUT.write_text(json.dumps({
+        "experiment": "e12_trace_model",
+        "python": platform.python_version(),
+        "size": SIZE,
+        "cells": len(rows),
+        "cycle_seconds": round(cycle_s, 4),
+        "trace_seconds": round(trace_s, 4),
+        "speedup": round(speedup, 1),
+        "worst_cycle_error": round(worst_error, 6),
+        "tolerance": TRACE_CYCLE_TOLERANCE,
+        "cycle_report": cycle_report.to_dict(),
+        "trace_report": trace_report.to_dict(),
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {OUTPUT.name}")
+
+    assert cycle_report.all_correct, [c.error for c in cycle_report.failures]
+    assert trace_report.all_correct, [c.error for c in trace_report.failures]
+    for cycle_cell, trace_cell in zip(cycle_report.cells, trace_report.cells):
+        assert trace_cell.operations == cycle_cell.operations
+        assert trace_cell.code_bytes == cycle_cell.code_bytes
+    assert worst_error <= TRACE_CYCLE_TOLERANCE
+    floor = float(os.environ.get("TRACE_MIN_SPEEDUP", MIN_SPEEDUP))
+    assert speedup >= floor, (
+        f"warm trace fidelity only {speedup:.1f}x faster (floor {floor}x)")

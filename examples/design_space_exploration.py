@@ -1,80 +1,112 @@
 """Custom-fit processors: explore the architecture space for a workload.
 
-Submits a serializable ``ExploreRequest`` to a :class:`repro.Session`:
-every candidate machine is generated from the same
-architecture-description tables, compiled for, simulated, and scored
-through the session's shared compile pipeline and batched evaluator.
-The response carries the full evaluation table, the time/area Pareto
-front, the "knee" machine a product team would pick, and provenance
-(engine, timings, cache behaviour).  The same request JSON drives
-``python -m repro explore``.
+Submits serializable ``ExploreRequest``s to a :class:`repro.Session` and
+demonstrates the two timing-model fidelities side by side:
+
+1. **cycle fidelity** — every candidate machine is compiled for and
+   executed on the cycle-accurate simulator (exact, slow);
+2. **screen-then-rescore** (``rescore=True``) — the whole space is
+   screened with the trace-based analytic model (each kernel profiled
+   once, every machine priced from its static schedules), then only the
+   time/area Pareto frontier is re-scored on the cycle simulator.  The
+   per-row ``fidelity`` field records which model produced each number.
+
+Both responses carry the full evaluation table, the Pareto front, the
+"knee" machine a product team would pick, and provenance (engine,
+fidelity, timings, cache behaviour).  The same request JSON drives
+``python -m repro explore`` (add ``--rescore``).
 
 Run with:  python examples/design_space_exploration.py
 """
 
 from __future__ import annotations
 
+import time
+
 from repro import ExploreRequest, Session
+
+# Pure architecture axes: 26 feasible points.  (ISE customization adds a
+# large per-point pattern-search cost that is the same at every fidelity
+# — see examples/customize_dsp_core.py for that axis; here the cost
+# being compared is the *measurement* of each design point.)
+SPACE = {
+    "issue_widths": [1, 2, 4, 8],
+    "register_counts": [32, 64],
+    "cluster_counts": [1],
+    "mul_unit_counts": [1, 2],
+    "mem_unit_counts": [1, 2],
+    "custom_budgets": [0.0],
+}
+
+
+def explore(session: Session, **overrides):
+    request = ExploreRequest(
+        mix="video", strategy="exhaustive", objective="perf_per_area",
+        size=24, opt_level=2, space=SPACE, **overrides)
+    started = time.perf_counter()
+    response = session.submit(request).result()
+    return response, time.perf_counter() - started
 
 
 def main() -> None:
-    request = ExploreRequest(
-        mix="video",
-        strategy="exhaustive",
-        objective="perf_per_area",
-        size=24,
-        opt_level=2,
-        # The screening engine: functional execution + schedule-derived
-        # timing, several times faster than cycle-accurate simulation —
-        # the mode meant for wide sweeps like this one.
-        engine="compiled",
-        space={
-            "issue_widths": [1, 2, 4, 8],
-            "register_counts": [32, 64],
-            "cluster_counts": [1],
-            "mul_unit_counts": [1, 2],
-            "mem_unit_counts": [2],
-            "custom_budgets": [0.0, 40.0],
-        },
-        # Fan the 24 candidate evaluations out over the BatchEvaluator
-        # process pool; results are bit-identical to a serial run.
-        workers=4,
-    )
-    print(f"Workload mix: {request.mix}  (request: {request.to_json()[:72]}...)")
+    # Each pass gets its own cold session: sessions never share artifact
+    # stores, so neither pass can serve the other's evaluations from the
+    # memo and the timing comparison is honest end-to-end (compiles,
+    # profiling and measurement included).
+    with Session() as session:
+        # Pass 1 — ground truth: simulate every design point.
+        cycle_response, cycle_s = explore(session, fidelity="cycle")
 
     with Session() as session:
-        response = session.submit(request).result()
+        # Pass 2 — screen the space analytically, re-simulate only the
+        # Pareto frontier (plus the screening winner).
+        rescore_response, rescore_s = explore(session, rescore=True)
 
-    print(f"Explored {response.points_evaluated} design points "
-          f"(issue width x registers x FU mix x ISE budget)\n")
+    print(f"Workload mix: video, {cycle_response.points_evaluated} design "
+          f"points (issue width x registers x FU mix x ISE budget)\n")
 
-    print(f"{'machine':<22} {'ok':<4} {'cycles':>9} {'us':>8} {'kgates':>8} "
-          f"{'code B':>8} {'perf/area':>10}")
-    for row in response.rows:
-        print(f"{row['machine']:<22} {'y' if row['feasible'] else 'n':<4} "
+    print(f"{'machine':<22} {'fid':<6} {'ok':<4} {'cycles':>9} {'us':>8} "
+          f"{'kgates':>8} {'code B':>8} {'perf/area':>10}")
+    for row in rescore_response.rows:
+        print(f"{row['machine']:<22} {row['fidelity']:<6} "
+              f"{'y' if row['feasible'] else 'n':<4} "
               f"{row['cycles']:>9} {row['time_us']:>8} {row['area_kgates']:>8} "
               f"{row['code_bytes']:>8} {row['perf_per_area']:>10}")
 
-    print("\nPareto front (execution time vs core area):")
-    by_machine = {row["machine"]: row for row in response.rows}
-    for name in response.pareto:
+    print("\nPareto front (execution time vs core area, re-scored at "
+          "cycle fidelity):")
+    by_machine = {row["machine"]: row for row in rescore_response.rows}
+    for name in rescore_response.pareto:
         row = by_machine[name]
         print(f"   {name:<22} {row['time_us']:>9} us   "
               f"{row['area_kgates']:>7} kgates   "
               f"{row['custom_ops']} custom ops")
 
-    if response.knee is not None:
-        print(f"\nKnee of the front : {response.knee['machine']} "
-              f"({response.knee['time_us']} us, "
-              f"{response.knee['area_kgates']} kgates)")
-    if response.best is not None:
-        print(f"Best {response.objective}: {response.best['machine']} "
-              f"({response.best['perf_per_area']} perf/kgate)")
+    if rescore_response.knee is not None:
+        print(f"\nKnee of the front : {rescore_response.knee['machine']} "
+              f"({rescore_response.knee['time_us']} us, "
+              f"{rescore_response.knee['area_kgates']} kgates)")
 
-    provenance = response.provenance
-    print(f"\nServed by {provenance.session} in {provenance.elapsed_s:.1f} s "
-          f"(engine: {provenance.engine}; batch: "
-          f"{provenance.cache['batch']})")
+    best_cycle = cycle_response.best
+    best_rescore = rescore_response.best
+    agree = (best_cycle and best_rescore
+             and best_cycle["machine"] == best_rescore["machine"])
+    print(f"Best {rescore_response.objective}: {best_rescore['machine']} "
+          f"({best_rescore['perf_per_area']} perf/kgate) — "
+          f"{'same winner as' if agree else 'DIFFERS from'} the full "
+          f"cycle-fidelity sweep")
+
+    print(f"\nTiming: cycle fidelity {cycle_s:.2f} s vs screen-then-rescore "
+          f"{rescore_s:.2f} s ({cycle_s / max(rescore_s, 1e-9):.1f}x) — "
+          f"fidelity recorded in provenance: "
+          f"'{cycle_response.provenance.fidelity}' vs "
+          f"'{rescore_response.provenance.fidelity}'")
+    rescore = rescore_response.provenance.cache.get("rescore", {})
+    print(f"(screen-then-rescore simulated only "
+          f"{rescore.get('points', '?')} points at cycle fidelity instead "
+          f"of all {rescore_response.points_evaluated}; the analytic "
+          f"screen itself is ~35x faster than simulation — see "
+          f"BENCH_trace_model.json)")
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ from .exec import BatchEvaluator, CompiledSimulator, make_functional_simulator
 from .frontend import compile_c
 from .gen import WorkloadPopulation, WorkloadSpec, generate_kernel, sample_spec
 from .ir import IRBuilder, Module
+from .model import KernelTrace, RetimingModel, TraceEstimate, capture_trace
 from .opt import optimize
 from .pipeline import (
     ArtifactStore, CompilePipeline, global_compile_pipeline,
@@ -70,6 +71,7 @@ __all__ = [
     "compile_c",
     "WorkloadPopulation", "WorkloadSpec", "generate_kernel", "sample_spec",
     "IRBuilder", "Module",
+    "KernelTrace", "RetimingModel", "TraceEstimate", "capture_trace",
     "optimize",
     "ArtifactStore", "CompilePipeline", "global_compile_pipeline",
     "reset_global_compile_pipeline",

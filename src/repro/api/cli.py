@@ -27,8 +27,8 @@ import sys
 from typing import List, Optional
 
 from .requests import (
-    EVALUATION_ENGINES, FUNCTIONAL_ENGINES, OBJECTIVES, RUN_ENGINES,
-    STRATEGIES, CompileRequest, CustomizeRequest, ExploreRequest,
+    EVALUATION_ENGINES, FIDELITY_LEVELS, FUNCTIONAL_ENGINES, OBJECTIVES,
+    RUN_ENGINES, STRATEGIES, CompileRequest, CustomizeRequest, ExploreRequest,
     MatrixRequest, MatrixResponse, PopulationRequest, PopulationResponse,
     RunRequest, RunResponse, CustomizeResponse, SchemaError,
     request_from_json,
@@ -117,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=sorted(OBJECTIVES))
     explore_p.add_argument("--engine", default=None,
                            choices=EVALUATION_ENGINES)
+    explore_p.add_argument("--fidelity", default=None,
+                           choices=FIDELITY_LEVELS,
+                           help="timing model: simulate every point (cycle) "
+                                "or profile once and retime (trace)")
+    explore_p.add_argument("--rescore", action="store_true",
+                           help="screen at trace fidelity, re-score the "
+                                "Pareto frontier at cycle fidelity")
     explore_p.add_argument("--size", type=int, default=None)
     explore_p.add_argument("--seed", type=int, default=None)
     explore_p.add_argument("--search-seed", type=int, default=None)
@@ -140,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated kernel names (default: all)")
     matrix_p.add_argument("--engine", default=None, choices=FUNCTIONAL_ENGINES,
                           help="functional cross-check engine")
+    matrix_p.add_argument("--fidelity", default=None, choices=FIDELITY_LEVELS,
+                          help="timing model: cycle simulation or trace "
+                               "retiming")
     matrix_p.add_argument("--size", type=int, default=None)
     matrix_p.add_argument("--seed", type=int, default=None)
     _add_common(matrix_p)
@@ -187,7 +197,8 @@ def _build_request(args: argparse.Namespace):
         return ExploreRequest(mix=args.mix, strategy=args.strategy,
                               objective=args.objective, size=args.size,
                               seed=args.seed, opt_level=args.opt_level,
-                              engine=args.engine, space=space or None,
+                              engine=args.engine, fidelity=args.fidelity,
+                              rescore=args.rescore, space=space or None,
                               search_seed=args.search_seed,
                               iterations=args.iterations,
                               max_rounds=args.max_rounds,
@@ -195,7 +206,8 @@ def _build_request(args: argparse.Namespace):
     if args.command == "matrix":
         return MatrixRequest(machines=args.machines, kernels=args.kernels,
                              size=args.size, seed=args.seed,
-                             opt_level=args.opt_level, engine=args.engine)
+                             opt_level=args.opt_level, engine=args.engine,
+                             fidelity=args.fidelity)
     if args.command == "gen":
         return PopulationRequest(count=args.count, seed=args.seed,
                                  families=args.families,

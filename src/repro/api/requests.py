@@ -34,7 +34,9 @@ from ..arch.machine import MachineDescription
 from ..arch.presets import PRESETS, get_preset
 from ..dse.explorer import OBJECTIVES
 from ..dse.space import DesignPoint, DesignSpace
-from ..exec.registry import EVALUATION_ENGINES, FUNCTIONAL_ENGINES
+from ..exec.registry import (
+    EVALUATION_ENGINES, FIDELITY_LEVELS, FUNCTIONAL_ENGINES,
+)
 from ..gen.spec import FAMILIES
 
 #: version of the request/response wire format; bump on breaking change.
@@ -110,6 +112,9 @@ class Provenance:
 
     session: str = ""
     engine: str = ""
+    #: which timing model produced the response's numbers: "cycle",
+    #: "trace", or "trace+rescore" (screened then frontier re-scored).
+    fidelity: str = "cycle"
     schema_version: int = SCHEMA_VERSION
     elapsed_s: float = 0.0
     stages: List[Dict[str, object]] = field(default_factory=list)
@@ -118,6 +123,7 @@ class Provenance:
     def to_dict(self) -> Dict[str, object]:
         return {
             "session": self.session, "engine": self.engine,
+            "fidelity": self.fidelity,
             "schema_version": self.schema_version,
             "elapsed_s": self.elapsed_s,
             "stages": [dict(record) for record in self.stages],
@@ -331,6 +337,11 @@ class ExploreRequest(Message):
     opt_level: Optional[int] = None
     #: evaluation engine: "cycle" or "compiled" (session default if None).
     engine: Optional[str] = None
+    #: timing-model fidelity: "cycle" or "trace" (session default if None).
+    fidelity: Optional[str] = None
+    #: screen at trace fidelity and re-score the Pareto frontier at cycle
+    #: fidelity (forces trace-fidelity screening regardless of ``fidelity``).
+    rescore: bool = False
     #: DesignSpace axes (e.g. {"issue_widths": [1, 2, 4]}); the small
     #: preset space when None.
     space: Optional[Dict[str, List[object]]] = None
@@ -351,6 +362,7 @@ class ExploreRequest(Message):
                 f"unknown objective '{self.objective}'; options: "
                 f"{', '.join(OBJECTIVES)}")
         _check_engine(self.engine, EVALUATION_ENGINES, "evaluation")
+        _check_engine(self.fidelity, FIDELITY_LEVELS, "fidelity")
         if self.space is not None:
             unknown = set(self.space) - set(SPACE_AXES)
             if unknown:
@@ -374,6 +386,8 @@ class MatrixRequest(Message):
     opt_level: Optional[int] = None
     #: functional cross-check engine (session default if None).
     engine: Optional[str] = None
+    #: timing-model fidelity: "cycle" or "trace" (session default if None).
+    fidelity: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.machines = list(self.machines)
@@ -384,6 +398,7 @@ class MatrixRequest(Message):
         if self.kernels is not None:
             self.kernels = list(self.kernels)
         _check_engine(self.engine, FUNCTIONAL_ENGINES, "functional")
+        _check_engine(self.fidelity, FIDELITY_LEVELS, "fidelity")
 
 
 @_register_request
@@ -489,6 +504,7 @@ class ExploreResponse(Message):
     strategy: str = ""
     objective: str = ""
     engine: str = ""
+    fidelity: str = "cycle"
     points_evaluated: int = 0
     best: Optional[Dict[str, object]] = None
     knee: Optional[Dict[str, object]] = None
@@ -505,6 +521,7 @@ class MatrixResponse(Message):
     machines: List[str] = field(default_factory=list)
     kernels: List[str] = field(default_factory=list)
     engine: str = ""
+    fidelity: str = "cycle"
     pass_rate: float = 0.0
     all_correct: bool = False
     rows: List[Dict[str, object]] = field(default_factory=list)

@@ -57,7 +57,9 @@ _SESSION_COUNTER = itertools.count(1)
 
 def _run_args(args: tuple) -> tuple:
     """Fresh per-run copies so simulator write-backs never alias."""
-    return tuple(list(a) if isinstance(a, list) else a for a in args)
+    from ..workloads.kernels import copy_run_args
+
+    return copy_run_args(args)
 
 
 class Session:
@@ -69,11 +71,13 @@ class Session:
                  cache_dir: Optional[str] = None,
                  engine: str = "interpreter",
                  evaluation_engine: str = "cycle",
+                 fidelity: str = "cycle",
                  opt_level: int = 2, unroll_factor: int = 4,
                  seed: int = 1234, size: Optional[int] = None,
                  workers: int = 0) -> None:
         validate_engine(engine, "functional")
         validate_engine(evaluation_engine, "evaluation")
+        validate_engine(fidelity, "fidelity")
         if pipeline is not None:
             if store is not None and store is not pipeline.store:
                 raise ValueError(
@@ -90,6 +94,9 @@ class Session:
         self.engine = engine
         #: default Evaluator measurement engine for design-space work.
         self.evaluation_engine = evaluation_engine
+        #: default timing-model fidelity ("cycle" simulates every design
+        #: point; "trace" profiles once and retimes analytically).
+        self.fidelity = fidelity
         self.opt_level = opt_level
         self.unroll_factor = unroll_factor
         self.seed = seed
@@ -133,7 +140,8 @@ class Session:
     def evaluator(self, mix, *, size: Optional[int] = None,
                   opt_level: Optional[int] = None,
                   seed: Optional[int] = None,
-                  engine: Optional[str] = None):
+                  engine: Optional[str] = None,
+                  fidelity: Optional[str] = None):
         """A :class:`~repro.dse.Evaluator` on this session's pipeline."""
         from ..dse.objectives import Evaluator
         from ..workloads.suite import get_mix
@@ -144,6 +152,7 @@ class Session:
             mix, size=self._size(size), opt_level=self._opt(opt_level),
             seed=self._seed(seed),
             engine=engine if engine is not None else self.evaluation_engine,
+            fidelity=fidelity if fidelity is not None else self.fidelity,
             pipeline=self.pipeline)
 
     def batch_evaluator(self, evaluator, *, workers: Optional[int] = None,
@@ -238,13 +247,13 @@ class Session:
     # Handlers.
     # ------------------------------------------------------------------
     def _provenance(self, engine: str, started: float,
-                    records=None, extra_cache: Optional[Dict] = None
-                    ) -> Provenance:
+                    records=None, extra_cache: Optional[Dict] = None,
+                    fidelity: str = "cycle") -> Provenance:
         cache: Dict[str, object] = {"pipeline": self.pipeline.stats()}
         if extra_cache:
             cache.update(extra_cache)
         return Provenance(
-            session=self.name, engine=engine,
+            session=self.name, engine=engine, fidelity=fidelity,
             elapsed_s=round(time.perf_counter() - started, 6),
             stages=[asdict(record) for record in (records or [])],
             cache=cache)
@@ -353,9 +362,20 @@ class Session:
         started = time.perf_counter()
         engine = (request.engine if request.engine is not None
                   else self.evaluation_engine)
+        fidelity = (request.fidelity if request.fidelity is not None
+                    else self.fidelity)
+        if request.rescore:
+            # Screening always happens at trace fidelity when re-scoring.
+            fidelity = "trace"
+        if fidelity == "trace" and not request.rescore:
+            # The trace path always profiles with the threaded-code
+            # engine; report what actually runs, not the ignored selector.
+            # (In rescore mode the frontier re-scoring *does* use the
+            # requested evaluation engine, so that label stands.)
+            engine = "compiled"
         evaluator = self.evaluator(
             request.mix, size=request.size, opt_level=request.opt_level,
-            seed=request.seed, engine=engine)
+            seed=request.seed, engine=engine, fidelity=fidelity)
         explorer = self.explorer(evaluator, objective=request.objective,
                                  workers=request.workers,
                                  search_seed=request.search_seed)
@@ -365,7 +385,14 @@ class Session:
             space = DesignSpace(**{axis: tuple(choices)
                                    for axis, choices in request.space.items()})
 
-        if request.strategy == "exhaustive":
+        if request.rescore:
+            result = explorer.screen_then_rescore(
+                space, strategy=request.strategy,
+                **({"max_rounds": request.max_rounds}
+                   if request.strategy == "greedy" else
+                   {"iterations": request.iterations}
+                   if request.strategy == "annealing" else {}))
+        elif request.strategy == "exhaustive":
             result = explorer.exhaustive(space)
         elif request.strategy == "greedy":
             result = explorer.greedy(space, max_rounds=request.max_rounds)
@@ -373,35 +400,46 @@ class Session:
             result = explorer.annealing(space, iterations=request.iterations)
 
         exported = result.to_dict()
+        extra_cache = {"batch": explorer.batch.stats.as_dict()}
+        if result.rescore is not None:
+            # The cycle-fidelity re-scoring pass ran through its own
+            # batch evaluator; surface its work alongside the screener's.
+            extra_cache["rescore"] = result.rescore
         return ExploreResponse(
             mix=evaluator.mix.name, strategy=request.strategy,
             objective=request.objective, engine=engine,
+            fidelity=result.fidelity,
             points_evaluated=result.points_evaluated,
             best=exported["best"], knee=exported["knee"],
             pareto=exported["pareto"], rows=exported["rows"],
             provenance=self._provenance(
-                engine, started,
-                extra_cache={"batch": explorer.batch.stats.as_dict()}))
+                engine, started, fidelity=result.fidelity,
+                extra_cache=extra_cache))
 
     def _execute_matrix(self, request: MatrixRequest) -> MatrixResponse:
         from ..toolchain.matrix import run_matrix
 
         started = time.perf_counter()
         engine = request.engine if request.engine is not None else self.engine
+        fidelity = (request.fidelity if request.fidelity is not None
+                    else self.fidelity)
         machines = [resolve_machine(machine) for machine in request.machines]
         report = run_matrix(
             machines, kernel_names=request.kernels,
             size=self._size(request.size),
             opt_level=self._opt(request.opt_level),
             seed=self._seed(request.seed), engine=engine,
-            pipeline=self.pipeline)
+            fidelity=fidelity, pipeline=self.pipeline)
+        # At trace fidelity the report records the engine that actually
+        # executed (the threaded-code profiler), not the requested one.
+        engine = report.engine
         exported = report.to_dict()
         return MatrixResponse(
             machines=exported["machines"], kernels=exported["kernels"],
-            engine=engine, pass_rate=report.pass_rate(),
+            engine=engine, fidelity=fidelity, pass_rate=report.pass_rate(),
             all_correct=report.all_correct, rows=exported["rows"],
             failures=exported["failures"],
-            provenance=self._provenance(engine, started))
+            provenance=self._provenance(engine, started, fidelity=fidelity))
 
     def _execute_population(self, request: PopulationRequest
                             ) -> PopulationResponse:

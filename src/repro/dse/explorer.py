@@ -47,6 +47,14 @@ class ExplorationResult:
     best: Optional[Evaluation] = None
     objective: str = "perf_per_area"
     points_evaluated: int = 0
+    #: timing-model fidelity the run used: "cycle", "trace", or
+    #: "trace+rescore" (screened at trace fidelity, Pareto frontier
+    #: re-scored at cycle fidelity — per-row fidelity is in the rows).
+    fidelity: str = "cycle"
+    #: rescoring accounting when fidelity == "trace+rescore": the number
+    #: of points re-scored at cycle fidelity and the rescoring batch's
+    #: cache counters (None otherwise).
+    rescore: Optional[Dict[str, object]] = None
 
     def feasible(self) -> List[Evaluation]:
         return [e for e in self.evaluations if e.feasible]
@@ -80,6 +88,8 @@ class ExplorationResult:
             "kind": "exploration_result",
             "schema_version": RESULT_SCHEMA_VERSION,
             "objective": self.objective,
+            "fidelity": self.fidelity,
+            "rescore": self.rescore,
             "points_evaluated": self.points_evaluated,
             "best": self.best.summary_row() if self.best else None,
             "knee": knee.summary_row() if knee else None,
@@ -115,6 +125,11 @@ class Explorer:
         self.batch = batch if batch is not None else BatchEvaluator(evaluator)
 
     # ------------------------------------------------------------------
+    def _new_result(self) -> ExplorationResult:
+        return ExplorationResult(
+            objective=self.objective,
+            fidelity=getattr(self.evaluator, "fidelity", "cycle"))
+
     def _evaluate(self, point: DesignPoint) -> Evaluation:
         return self.batch.evaluate(point)
 
@@ -128,7 +143,7 @@ class Explorer:
     # ------------------------------------------------------------------
     def exhaustive(self, space: DesignSpace) -> ExplorationResult:
         """Evaluate every point of ``space`` (in one batch)."""
-        result = ExplorationResult(objective=self.objective)
+        result = self._new_result()
         points = list(space.points())
         for evaluation in self.batch.evaluate_many(points):
             result.evaluations.append(evaluation)
@@ -157,7 +172,7 @@ class Explorer:
             mem_units=min(space.mem_unit_counts),
             custom_area_budget=min(space.custom_budgets),
         )
-        result = ExplorationResult(objective=self.objective)
+        result = self._new_result()
         seen = {current.cache_key()}
         best_eval = self._evaluate(current)
         result.evaluations.append(best_eval)
@@ -212,7 +227,7 @@ class Explorer:
         current_eval = prefetched[0]
         best_eval = current_eval
 
-        result = ExplorationResult(objective=self.objective)
+        result = self._new_result()
         seen = {current.cache_key()}
         result.evaluations.append(current_eval)
         result.points_evaluated += 1
@@ -234,4 +249,77 @@ class Explorer:
                 best_eval = evaluation
 
         result.best = best_eval
+        return result
+
+    # ------------------------------------------------------------------
+    # Screen-then-rescore: trace-fidelity sweep, cycle-fidelity frontier.
+    # ------------------------------------------------------------------
+    def screen_then_rescore(self, space: DesignSpace,
+                            strategy: str = "exhaustive",
+                            **strategy_kwargs) -> ExplorationResult:
+        """Screen ``space`` at trace fidelity, re-score its Pareto frontier
+        at cycle fidelity.
+
+        The named ``strategy`` runs with a trace-fidelity evaluator (the
+        explorer's own when it already is one), then every evaluation on
+        the resulting (time, area) Pareto frontier — plus the screening
+        winner, which objectives like perf-per-watt may place off that
+        frontier — is re-measured by the cycle simulator and substituted
+        into the result; ``best`` is recomputed over the re-scored set.
+        Each row's ``fidelity`` field records which model produced its
+        numbers, and ``result.rescore`` records how much cycle-fidelity
+        work the rescoring pass did.
+        """
+        from ..exec.batch import BatchEvaluator
+
+        if strategy not in ("exhaustive", "greedy", "annealing"):
+            raise ValueError(
+                f"unknown strategy '{strategy}'; options: exhaustive, "
+                f"greedy, annealing")
+
+        def _sibling(fidelity: str) -> "Explorer":
+            if getattr(self.evaluator, "fidelity", "cycle") == fidelity:
+                return self
+            evaluator = self.evaluator.with_fidelity(fidelity)
+            batch = BatchEvaluator(evaluator, workers=self.batch.workers,
+                                   cache_dir=self.batch.cache_dir,
+                                   store=self.batch.store)
+            return Explorer(evaluator, objective=self.objective, batch=batch,
+                            seed=self.seed)
+
+        screener = _sibling("trace")
+        result = getattr(screener, strategy)(space, **strategy_kwargs)
+
+        candidates = result.pareto()
+        if result.best is not None:
+            candidates = candidates + [result.best]
+        points, seen = [], set()
+        for evaluation in candidates:
+            point = getattr(evaluation, "point", None)
+            if point is not None and point.cache_key() not in seen:
+                seen.add(point.cache_key())
+                points.append(point)
+        result.fidelity = "trace+rescore"
+        if not points:
+            return result
+
+        # The rescoring pass always gets a fresh BatchEvaluator over the
+        # same store: the memo is shared, but its stats window covers
+        # exactly the rescoring work (reusing self.batch would fold any
+        # earlier sweeps into the accounting).
+        rescore_batch = BatchEvaluator(self.evaluator.with_fidelity("cycle"),
+                                       workers=self.batch.workers,
+                                       cache_dir=self.batch.cache_dir,
+                                       store=self.batch.store)
+        rescored = rescore_batch.evaluate_many(points)
+        by_key = {point.cache_key(): evaluation
+                  for point, evaluation in zip(points, rescored)}
+        result.evaluations = [
+            by_key.get(e.point.cache_key(), e)
+            if getattr(e, "point", None) is not None else e
+            for e in result.evaluations
+        ]
+        result.best = max(rescored, key=self._score)
+        result.rescore = {"points": len(points),
+                          "batch": rescore_batch.stats.as_dict()}
         return result

@@ -19,6 +19,18 @@ Two measurement engines are available (``engine=``):
   simulator except for cache-stall modelling (no i/d-cache stalls and no
   cache access energy) and is several times faster — the screening mode
   for large design-space sweeps.
+
+Orthogonally, ``fidelity=`` selects the timing model itself:
+
+* ``"cycle"`` (default) — per-point execution with whichever engine is
+  selected above;
+* ``"trace"`` — profile-once/estimate-many: each kernel is executed
+  exactly once per (module, arguments) pair (the pipeline's ``trace``
+  stage) and every design point is priced analytically by the
+  :class:`repro.model.RetimingModel`, including modeled cache stalls and
+  cache energy.  No per-point simulation at all — the screening mode for
+  N×M sweeps, locked to the cycle simulator by the differential harness
+  in ``tests/test_trace_model.py``.
 """
 
 from __future__ import annotations
@@ -32,16 +44,13 @@ from ..core.customizer import IsaCustomizer
 from ..core.identification import EnumerationConfig
 from ..core.library import ExtensionLibrary
 from ..core.selection import SelectionConfig
-from ..arch.operations import OperationClass
-from ..arch.power import EnergyModel, custom_pj, operation_pj
 from ..backend.mcode import CompiledModule
 from ..exec.engine import CompiledSimulator
 from ..exec.registry import EVALUATION_ENGINES, validate_engine
-from ..ir import Opcode
 from ..pipeline import CompilePipeline
 from ..sim.cycle import CycleSimulator
 from ..sim.functional import ExecutionProfile
-from ..workloads.kernels import Kernel
+from ..workloads.kernels import Kernel, copy_run_args
 from ..workloads.suite import WorkloadMix
 
 
@@ -66,6 +75,11 @@ class Evaluation:
     measurements: List[KernelMeasurement] = field(default_factory=list)
     customized: bool = False
     custom_ops: int = 0
+    #: which timing model produced these numbers ("cycle" or "trace").
+    fidelity: str = "cycle"
+    #: the design point this evaluation was requested for, when it came
+    #: through the batch layer (lets re-scoring map back to points).
+    point: Optional[object] = None
 
     @property
     def feasible(self) -> bool:
@@ -110,6 +124,7 @@ class Evaluation:
     def summary_row(self) -> Dict[str, object]:
         return {
             "machine": self.machine.name,
+            "fidelity": self.fidelity,
             "feasible": self.feasible,
             "custom_ops": self.custom_ops,
             "cycles": round(self.weighted_cycles),
@@ -128,13 +143,16 @@ class Evaluator:
     def __init__(self, mix: WorkloadMix, size: Optional[int] = None,
                  opt_level: int = 3, seed: int = 1234,
                  engine: str = "cycle",
+                 fidelity: str = "cycle",
                  pipeline: Optional[CompilePipeline] = None) -> None:
         validate_engine(engine, "evaluation")
+        validate_engine(fidelity, "fidelity")
         self.mix = mix
         self.size = size
         self.opt_level = opt_level
         self.seed = seed
         self.engine = engine
+        self.fidelity = fidelity
         #: staged compile pipeline shared across design points (and, via
         #: the default session, across evaluators): the machine-
         #: independent front half runs once per kernel, and scheduled
@@ -151,11 +169,24 @@ class Evaluator:
             module, _records = self.pipeline.front(
                 kernel.source, kernel.name, opt_level=self.opt_level)
             self._modules[kernel.name] = module
+        # One retiming model per evaluator: d-cache replays are memoized
+        # in the pipeline's artifact store, shared across design points.
+        from ..model.retime import RetimingModel
+
+        self._retimer = RetimingModel(store=self.pipeline.store)
+
+    def with_fidelity(self, fidelity: str) -> "Evaluator":
+        """This evaluator's recipe at another fidelity (shared pipeline)."""
+        if fidelity == self.fidelity:
+            return self
+        return Evaluator(self.mix, size=self.size, opt_level=self.opt_level,
+                         seed=self.seed, engine=self.engine,
+                         fidelity=fidelity, pipeline=self.pipeline)
 
     def evaluate(self, machine: MachineDescription,
                  custom_area_budget: float = 0.0) -> Evaluation:
         """Measure ``machine`` on the mix; optionally customize its ISA first."""
-        evaluation = Evaluation(machine=machine)
+        evaluation = Evaluation(machine=machine, fidelity=self.fidelity)
         library = ExtensionLibrary()
         working_machine = machine
 
@@ -198,10 +229,14 @@ class Evaluator:
                 expected = kernel.expected(args)
                 try:
                     compiled, report = self.pipeline.backend(module, working_machine)
-                    run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
+                    run_args = copy_run_args(args)
                     code_bytes = (report.code.bytes_effective
                                   if report.code is not None else 0)
-                    if self.engine == "compiled":
+                    if self.fidelity == "trace":
+                        measurement = self._measure_trace(
+                            kernel, weight, module, compiled, working_machine,
+                            args, expected, code_bytes)
+                    elif self.engine == "compiled":
                         measurement = self._measure_compiled(
                             kernel, weight, module, compiled, working_machine,
                             run_args, expected, code_bytes)
@@ -230,6 +265,22 @@ class Evaluator:
         return evaluation
 
     # ------------------------------------------------------------------
+    # Trace fidelity: profile once, retime analytically per machine.
+    # ------------------------------------------------------------------
+    def _measure_trace(self, kernel: Kernel, weight: float, module,
+                       compiled: CompiledModule, machine: MachineDescription,
+                       args: tuple, expected, code_bytes: int
+                       ) -> KernelMeasurement:
+        trace, _record = self.pipeline.trace(module, kernel.entry, args)
+        estimate = self._retimer.price(compiled, machine, trace)
+        return KernelMeasurement(
+            kernel=kernel.name, weight=weight, cycles=estimate.cycles,
+            correct=(trace.value == expected),
+            energy_uj=estimate.energy_uj, code_bytes=code_bytes,
+            ipc=estimate.stats.ipc,
+        )
+
+    # ------------------------------------------------------------------
     # Compiled (screening) engine: functional execution + static timing.
     # ------------------------------------------------------------------
     def _measure_compiled(self, kernel: Kernel, weight: float, module,
@@ -254,56 +305,12 @@ def reduce_schedule_timing(compiled: CompiledModule,
     """Reduce a dynamic profile over a static schedule to (cycles, uJ, ipc).
 
     Mirrors the cycle simulator's accounting exactly except for the cache
-    models: cycles are block schedule lengths weighted by measured visit
-    counts, plus the fixed call overhead per activation and the branch
-    penalty per taken control transfer; energy is charged per scheduled
-    operation (weighted the same way) plus static energy per cycle.
+    models (deliberately off: the compiled engine records no address
+    stream).  One code path with trace fidelity: this is the
+    :class:`repro.model.RetimingModel` with cache modelling disabled.
     """
-    opcode_counts = profile.opcode_counts
-    calls = 1 + sum(profile.call_counts.values())
-    cycles = CycleSimulator.CALL_OVERHEAD * calls
-    taken = (profile.taken_branches
-             + opcode_counts.get(Opcode.JUMP.value, 0)
-             + opcode_counts.get(Opcode.CALL.value, 0)
-             + opcode_counts.get(Opcode.RETURN.value, 0))
-    cycles += machine.branch_penalty * taken
+    from ..model.retime import RetimingModel
 
-    energy = EnergyModel(machine)
-    operations = 0
-    overhead_ops = 0
-    dynamic_pj = 0.0
-    from ..core.library import global_extension_library
-
-    library = global_extension_library()
-    for function in compiled:
-        visit_counts = profile.block_counts.get(function.name)
-        if not visit_counts:
-            continue
-        for block in function.blocks:
-            visits = visit_counts.get(block.name, 0)
-            if not visits:
-                continue
-            cycles += visits * block.cycles
-            for bundle in block.bundles:
-                for op in bundle.ops:
-                    operations += visits
-                    # Per-op energy exactly as the cycle simulator charges
-                    # it, scaled by the measured visit count.
-                    if op.is_spill:
-                        overhead_ops += visits
-                        pj = operation_pj(OperationClass.MEM)
-                    elif op.is_copy:
-                        overhead_ops += visits
-                        pj = operation_pj(OperationClass.IALU)
-                    elif op.inst.opcode is Opcode.CUSTOM:
-                        entry = library.entry(op.inst.custom_op)
-                        fused = entry.operation.fused_ops if entry else 1
-                        pj = custom_pj(fused, len(op.inst.operands))
-                    else:
-                        pj = operation_pj(op.op_class,
-                                          len(op.inst.operands))
-                    dynamic_pj += visits * pj
-    energy.report.dynamic_pj += dynamic_pj
-    energy.charge_cycles(cycles)
-    ipc = 0.0 if cycles == 0 else (operations - overhead_ops) / cycles
-    return cycles, energy.report.total_uj, ipc
+    estimate = RetimingModel(model_caches=False).price(
+        compiled, machine, profile)
+    return estimate.stats.cycles, estimate.energy_uj, estimate.stats.ipc

@@ -20,7 +20,8 @@ Engine selection: everything that runs functional simulation accepts an
 """
 
 from .registry import (
-    ENGINE_KINDS, EVALUATION_ENGINES, FUNCTIONAL_ENGINES, validate_engine,
+    ENGINE_KINDS, EVALUATION_ENGINES, FIDELITY_LEVELS, FUNCTIONAL_ENGINES,
+    validate_engine,
 )
 from .batch import BatchEvaluator, BatchStats, EvaluatorSpec
 from .cache import (
@@ -31,7 +32,8 @@ from .engine import CompiledSimulator, make_functional_simulator
 from .translator import TranslatedProgram, translate_module
 
 __all__ = [
-    "ENGINE_KINDS", "EVALUATION_ENGINES", "FUNCTIONAL_ENGINES",
+    "ENGINE_KINDS", "EVALUATION_ENGINES", "FIDELITY_LEVELS",
+    "FUNCTIONAL_ENGINES",
     "validate_engine",
     "BatchEvaluator", "BatchStats", "EvaluatorSpec",
     "CodeCache", "CodeCacheStats", "global_code_cache",

@@ -36,8 +36,9 @@ from ..pipeline.store import ArtifactStore
 
 #: bump when the evaluation recipe or on-disk format changes incompatibly
 #: (2: the memo moved into ArtifactStore — cache_dir/evaluation/<key>.pkl
-#: holding a (payload, seconds) tuple).
-_CACHE_SCHEMA = 2
+#: holding a (payload, seconds) tuple; 3: the recipe gained the fidelity
+#: selector and evaluations carry fidelity/point fields).
+_CACHE_SCHEMA = 3
 
 #: artifact-store stage name under which evaluations are memoized.
 EVALUATION_STAGE = "evaluation"
@@ -60,16 +61,25 @@ class EvaluatorSpec:
     opt_level: int
     seed: int
     engine: str
+    fidelity: str = "cycle"
 
     @staticmethod
     def from_evaluator(evaluator) -> "EvaluatorSpec":
+        fidelity = getattr(evaluator, "fidelity", "cycle")
+        engine = getattr(evaluator, "engine", "cycle")
+        if fidelity == "trace":
+            # The measurement path ignores the engine selector at trace
+            # fidelity (the profiler is always the threaded-code engine);
+            # normalize it so equivalent recipes share one cache entry.
+            engine = "compiled"
         return EvaluatorSpec(
             mix_name=evaluator.mix.name,
             weights=tuple(sorted(evaluator.mix.weights.items())),
             size=evaluator.size,
             opt_level=evaluator.opt_level,
             seed=evaluator.seed,
-            engine=getattr(evaluator, "engine", "cycle"),
+            engine=engine,
+            fidelity=fidelity,
         )
 
     def build(self):
@@ -78,7 +88,8 @@ class EvaluatorSpec:
 
         mix = WorkloadMix(self.mix_name, dict(self.weights))
         return Evaluator(mix, size=self.size, opt_level=self.opt_level,
-                         seed=self.seed, engine=self.engine)
+                         seed=self.seed, engine=self.engine,
+                         fidelity=self.fidelity)
 
 
 def _initialize_worker(spec: EvaluatorSpec) -> None:
@@ -140,7 +151,7 @@ class BatchEvaluator:
         """Content hash of the full evaluation recipe for ``point``."""
         recipe = (_CACHE_SCHEMA, self.spec.mix_name, self.spec.weights,
                   self.spec.size, self.spec.opt_level, self.spec.seed,
-                  self.spec.engine, point.cache_key())
+                  self.spec.engine, self.spec.fidelity, point.cache_key())
         return hashlib.sha256(repr(recipe).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
@@ -181,6 +192,14 @@ class BatchEvaluator:
                 results[key] = evaluation
                 self.store.put(EVALUATION_STAGE, key, evaluation, persist=True)
             self.stats.evaluated += len(evaluated)
+
+        # Remember which design point each evaluation answers (same point
+        # for every caller sharing a memo entry), so re-scoring passes can
+        # map Pareto evaluations back to points.
+        by_key = dict(zip(keys, points))
+        for key, evaluation in results.items():
+            if getattr(evaluation, "point", None) is None:
+                evaluation.point = by_key.get(key)
 
         return [results[key] for key in keys]
 

@@ -9,7 +9,10 @@ authoritative list, grouped by *kind*:
   the reference ``"interpreter"`` and the threaded-code ``"compiled"``;
 * ``"evaluation"`` — measurement engines of :class:`repro.dse.Evaluator`:
   ``"cycle"`` (cycle-accurate) and ``"compiled"`` (functional execution
-  with statically reduced timing).
+  with statically reduced timing);
+* ``"fidelity"`` — timing-model fidelity levels: ``"cycle"`` (simulate
+  every design point) and ``"trace"`` (profile once, retime
+  analytically per point via :mod:`repro.model`).
 
 Kept import-light on purpose so every layer (toolchain, dse, workloads)
 can import it without cycles.
@@ -25,9 +28,13 @@ FUNCTIONAL_ENGINES: Tuple[str, ...] = ("interpreter", "compiled")
 #: Evaluator measurement engines.
 EVALUATION_ENGINES: Tuple[str, ...] = ("cycle", "compiled")
 
+#: timing-model fidelity levels (simulate vs. analytic retiming).
+FIDELITY_LEVELS: Tuple[str, ...] = ("cycle", "trace")
+
 ENGINE_KINDS: Dict[str, Tuple[str, ...]] = {
     "functional": FUNCTIONAL_ENGINES,
     "evaluation": EVALUATION_ENGINES,
+    "fidelity": FIDELITY_LEVELS,
 }
 
 

@@ -1,0 +1,24 @@
+"""Trace-based analytic timing/energy models for design-space sweeps.
+
+Profile once, estimate many: :func:`capture_trace` runs a kernel a
+single time (threaded-code engine) and reduces it to a
+machine-independent :class:`KernelTrace`; :class:`RetimingModel` then
+prices any :class:`~repro.arch.machine.MachineDescription` against the
+trace using the static per-block schedules — no per-design-point
+simulation.  The cycle simulator remains the ground-truth oracle; the
+differential harness in ``tests/test_trace_model.py`` locks the model
+to it.
+"""
+
+from .retime import (
+    TRACE_CYCLE_TOLERANCE, REPLAY_STAGE, RetimingModel, TraceEstimate,
+)
+from .trace import (
+    TRACE_SCHEMA, KernelTrace, TracingMemory, capture_trace, trace_args_key,
+)
+
+__all__ = [
+    "TRACE_CYCLE_TOLERANCE", "TRACE_SCHEMA", "REPLAY_STAGE",
+    "KernelTrace", "RetimingModel", "TraceEstimate", "TracingMemory",
+    "capture_trace", "trace_args_key",
+]

@@ -13,11 +13,12 @@ half across design points with equal backend axes.
 
 from .compile import (
     BackendStage, CompilePipeline, EncodeStage, FrontendStage, OptimizeStage,
-    global_compile_pipeline, rebind_compiled, reset_global_compile_pipeline,
+    TraceStage, global_compile_pipeline, rebind_compiled,
+    reset_global_compile_pipeline,
 )
 from .fingerprints import (
     backend_fingerprint, encode_fingerprint, machine_backend_fingerprint,
-    opt_fingerprint, source_fingerprint,
+    opt_fingerprint, source_fingerprint, trace_fingerprint,
 )
 from .stage import Stage, StageRecord
 from .store import ArtifactStore, StageArtifact, StageStats
@@ -26,8 +27,8 @@ __all__ = [
     "ArtifactStore", "StageArtifact", "StageStats",
     "Stage", "StageRecord",
     "CompilePipeline", "FrontendStage", "OptimizeStage", "BackendStage",
-    "EncodeStage", "global_compile_pipeline",
+    "EncodeStage", "TraceStage", "global_compile_pipeline",
     "reset_global_compile_pipeline", "rebind_compiled",
     "source_fingerprint", "opt_fingerprint", "machine_backend_fingerprint",
-    "backend_fingerprint", "encode_fingerprint",
+    "backend_fingerprint", "encode_fingerprint", "trace_fingerprint",
 ]

@@ -37,7 +37,7 @@ from ..ir import Module
 from ..opt import optimize
 from .fingerprints import (
     backend_fingerprint, encode_fingerprint, opt_fingerprint,
-    source_fingerprint,
+    source_fingerprint, trace_fingerprint,
 )
 from .stage import Stage, StageRecord
 from .store import ArtifactStore
@@ -132,6 +132,31 @@ class EncodeStage(Stage):
         )
 
 
+class TraceStage(Stage):
+    """Optimized IR × entry × arguments → machine-independent trace.
+
+    The profile-once half of trace-fidelity evaluation: one run of the
+    threaded-code engine under a recording memory, reduced to a
+    serializable :class:`~repro.model.trace.KernelTrace`.  Keyed by the
+    structural module fingerprint and the argument recipe — no machine
+    axis, so the artifact is shared by every design point of a sweep.
+    Persisted: traces are plain data and survive across processes.
+    """
+
+    name = "trace"
+    persist = True
+
+    def key(self, module: Module, entry: str, args, args_key: str) -> str:
+        return trace_fingerprint(module_fingerprint(module), entry, args_key)
+
+    def build(self, module: Module, entry: str, args, args_key: str):
+        from ..model.trace import capture_trace
+
+        return capture_trace(module, entry, args)
+
+    # KernelTrace artifacts are treated as immutable; no replicate().
+
+
 def rebind_compiled(compiled: CompiledModule,
                     machine: MachineDescription) -> CompiledModule:
     """``compiled`` with its machine reference replaced by ``machine``.
@@ -162,6 +187,7 @@ class CompilePipeline:
         self.optimize_stage = OptimizeStage()
         self.backend_stage = BackendStage()
         self.encode_stage = EncodeStage()
+        self.trace_stage = TraceStage()
 
     # ------------------------------------------------------------------
     # Front half (machine independent).
@@ -195,6 +221,19 @@ class CompilePipeline:
         opt_record = StageRecord(stage=stage.name, key=opt_key, hit=False,
                                  seconds=seconds)
         return stage.replicate(module), [front_record, opt_record]
+
+    def trace(self, module: Module, entry: str, args):
+        """Profile ``entry(args)`` once; returns ``(KernelTrace, record)``.
+
+        Machine independent (front half of the boundary): the trace is
+        keyed by module structure and the argument recipe only, so a
+        design-space sweep profiles each kernel exactly once no matter
+        how many machines it prices.
+        """
+        from ..model.trace import trace_args_key
+
+        return self.trace_stage.run(self.store, module, entry, args,
+                                    trace_args_key(args))
 
     # ------------------------------------------------------------------
     # Back half (machine dependent).

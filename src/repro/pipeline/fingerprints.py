@@ -56,6 +56,11 @@ from ..arch.machine import MachineDescription
 #: bump when any stage's output format or semantics change incompatibly.
 PIPELINE_SCHEMA = 1
 
+#: bump when the KernelTrace format or capture semantics change
+#: incompatibly (part of the trace stage's key, so persisted traces from
+#: an older schema can never be served after a bump).
+TRACE_SCHEMA = 1
+
 
 def _digest(*parts: object) -> str:
     """SHA-256 hex digest over a canonical joining of ``parts``."""
@@ -118,6 +123,16 @@ def backend_fingerprint(module_fp: str, machine: MachineDescription) -> str:
     """Key of the ``backend`` stage: structural IR hash × backend axes."""
     return _digest("backend", PIPELINE_SCHEMA, module_fp,
                    machine_backend_fingerprint(machine))
+
+
+def trace_fingerprint(module_fp: str, entry: str, args_key: str) -> str:
+    """Key of the ``trace`` stage: structural IR hash × entry × arguments.
+
+    Entirely machine independent — one profiled run serves every design
+    point of a sweep (the retiming model re-prices it per machine).
+    """
+    return _digest("trace", PIPELINE_SCHEMA, TRACE_SCHEMA, module_fp, entry,
+                   args_key)
 
 
 def encode_fingerprint(backend_key: str) -> str:

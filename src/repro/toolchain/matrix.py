@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..arch.machine import MachineDescription
 from ..exec.registry import validate_engine
 from ..sim.cycle import CycleSimulator
-from ..workloads.kernels import KERNELS, Kernel, get_kernel
+from ..workloads.kernels import KERNELS, Kernel, copy_run_args, get_kernel
 
 #: version of MatrixReport's exported dict/JSON form.
 REPORT_SCHEMA_VERSION = 1
@@ -44,6 +44,8 @@ class MatrixReport:
     cells: List[MatrixCell] = field(default_factory=list)
     #: functional cross-check engine the run used.
     engine: str = "interpreter"
+    #: timing-model fidelity: "cycle" (simulated) or "trace" (retimed).
+    fidelity: str = "cycle"
 
     def cell(self, machine: str, kernel: str) -> MatrixCell:
         for cell in self.cells:
@@ -100,6 +102,7 @@ class MatrixReport:
             "kind": "matrix_report",
             "schema_version": REPORT_SCHEMA_VERSION,
             "engine": self.engine,
+            "fidelity": self.fidelity,
             "machines": self.machines,
             "kernels": self.kernels,
             "cells": len(self.cells),
@@ -123,6 +126,7 @@ def run_matrix(machines: Sequence[MachineDescription],
                opt_level: int = 2,
                seed: int = 1234,
                engine: str = "interpreter",
+               fidelity: str = "cycle",
                pipeline=None) -> MatrixReport:
     """Compile and validate every kernel on every machine.
 
@@ -130,16 +134,42 @@ def run_matrix(machines: Sequence[MachineDescription],
     unified registry ("interpreter" or "compiled"); ``pipeline`` injects
     a staged compile pipeline (the default session's when None), so a
     matrix sweep shares artifacts with whatever warmed the session.
+
+    ``fidelity`` selects the timing model: ``"cycle"`` executes every
+    cell on the cycle simulator; ``"trace"`` profiles each kernel once
+    (the pipeline's machine-independent trace stage — the profiled run
+    doubles as the functional oracle check) and prices every machine
+    analytically with the :class:`repro.model.RetimingModel`.
+
+    Correctness semantics differ by fidelity: at ``"cycle"`` each cell's
+    ``correct`` certifies the *scheduled code executed on that machine*
+    against the oracle; at ``"trace"`` nothing machine-specific executes,
+    so ``correct`` certifies only the machine-independent kernel
+    semantics (once per kernel) — it cannot catch a per-machine
+    miscompile.  Use trace fidelity to screen timing, cycle fidelity to
+    validate the toolchain (the differential harness in
+    ``tests/test_trace_model.py`` keeps the two locked together).
     """
     validate_engine(engine, "functional")
+    validate_engine(fidelity, "fidelity")
     from ..exec.engine import make_functional_simulator
 
     names = sorted(kernel_names) if kernel_names is not None else sorted(KERNELS)
-    report = MatrixReport(engine=engine)
+    if fidelity == "trace":
+        # The one profiled run is the only functional execution, and it
+        # always uses the threaded-code engine; record what actually ran
+        # rather than a cross-check engine that never did.
+        engine = "compiled"
+    report = MatrixReport(engine=engine, fidelity=fidelity)
     if pipeline is None:
         from ..api.session import default_pipeline
 
         pipeline = default_pipeline()
+    retimer = None
+    if fidelity == "trace":
+        from ..model.retime import RetimingModel
+
+        retimer = RetimingModel(store=pipeline.store)
 
     for machine in machines:
         for name in names:
@@ -150,29 +180,42 @@ def run_matrix(machines: Sequence[MachineDescription],
             try:
                 module, _records = pipeline.front(kernel.source, kernel.name,
                                                   opt_level=opt_level)
-
-                # Cross-check 1: functional simulation vs. the Python oracle.
-                reference = make_functional_simulator(module.clone(),
-                                                      engine=engine)
-                ref_args = tuple(list(a) if isinstance(a, list) else a for a in args)
-                ref_value = reference.run(kernel.entry, *ref_args)
-
-                # Cross-check 2: scheduled code on the cycle simulator.
                 compiled, compile_report = pipeline.backend(module, machine)
-                simulator = CycleSimulator(compiled)
-                run_args = tuple(list(a) if isinstance(a, list) else a for a in args)
-                result = simulator.run(kernel.entry, *run_args)
 
-                cell.cycles = result.cycles
-                cell.operations = result.stats.operations_executed
-                cell.ipc = result.stats.ipc
+                if fidelity == "trace":
+                    # Profile-once path: the trace's recorded value *is*
+                    # the functional-simulation output (the threaded-code
+                    # engine is bit-identical to the interpreter), and
+                    # timing is retimed from the static schedule.
+                    trace, _record = pipeline.trace(module, kernel.entry,
+                                                    args)
+                    estimate = retimer.price(compiled, machine, trace)
+                    ref_value = run_value = trace.value
+                    cell.cycles = estimate.cycles
+                    cell.operations = estimate.stats.operations_executed
+                    cell.ipc = estimate.stats.ipc
+                else:
+                    # Cross-check 1: functional simulation vs. the oracle.
+                    reference = make_functional_simulator(module.clone(),
+                                                          engine=engine)
+                    ref_value = reference.run(kernel.entry,
+                                              *copy_run_args(args))
+
+                    # Cross-check 2: scheduled code on the cycle simulator.
+                    simulator = CycleSimulator(compiled)
+                    result = simulator.run(kernel.entry, *copy_run_args(args))
+                    run_value = result.value
+                    cell.cycles = result.cycles
+                    cell.operations = result.stats.operations_executed
+                    cell.ipc = result.stats.ipc
+
                 if compile_report.code is not None:
                     cell.code_bytes = compile_report.code.bytes_effective
-                cell.correct = (result.value == expected and ref_value == expected)
+                cell.correct = (run_value == expected and ref_value == expected)
                 if not cell.correct:
                     cell.error = (
                         f"expected {expected}, functional {ref_value}, "
-                        f"cycle-level {result.value}"
+                        f"{fidelity}-level {run_value}"
                     )
             except Exception as exc:  # noqa: BLE001 - matrix reports, never raises
                 cell.error = f"{type(exc).__name__}: {exc}"

@@ -16,6 +16,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
+def copy_run_args(args) -> tuple:
+    """Fresh per-run copies of an argument tuple.
+
+    Simulators write back into list arguments, so every independent run
+    (and every oracle evaluation) needs its own copies; this is the one
+    shared spelling of that idiom.
+    """
+    return tuple(list(a) if isinstance(a, list) else a for a in args)
+
+
 @dataclass
 class Kernel:
     """One benchmark kernel: C source, entry point, inputs, oracle."""
@@ -38,8 +48,7 @@ class Kernel:
     def expected(self, args: tuple) -> int:
         # The oracle must not see the simulator-side mutation of list
         # arguments, so it gets copies.
-        safe = tuple(list(a) if isinstance(a, list) else a for a in args)
-        return self.reference(*safe)
+        return self.reference(*copy_run_args(args))
 
 
 def _rng(seed: int) -> random.Random:

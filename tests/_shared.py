@@ -1,0 +1,40 @@
+"""Shared plain helpers for the repro test suite.
+
+Lives under a unique module name (both ``tests/`` and ``benchmarks/``
+have a ``conftest.py``, so ``import conftest`` is ambiguous in a full
+run); ``tests/conftest.py`` wraps these in fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import compile_c
+from repro.opt import optimize
+from repro.workloads import get_kernel
+
+#: seed/size of the shared generated population (also used by bench_e12).
+POPULATION_SEED = 20260730
+POPULATION_COUNT = 25
+
+_KERNEL_MODULE_CACHE = {}
+
+
+def build_kernel_module(name: str, opt_level: int = 2):
+    """(kernel name, opt_level) → (Kernel, private optimized-module clone).
+
+    Compilation results are cached for the whole test session; callers
+    receive a fresh clone each time, so in-place optimization or ISA
+    rewriting in one test can never leak into another.
+    """
+    key = (name, opt_level)
+    if key not in _KERNEL_MODULE_CACHE:
+        kernel = get_kernel(name)
+        module = compile_c(kernel.source, module_name=name)
+        optimize(module, level=opt_level)
+        _KERNEL_MODULE_CACHE[key] = (kernel, module)
+    kernel, module = _KERNEL_MODULE_CACHE[key]
+    return kernel, module.clone()
+
+
+def arg_copies(args):
+    """Per-run argument copies (simulators write back into lists)."""
+    return tuple(list(a) if isinstance(a, list) else a for a in args)

@@ -1,4 +1,19 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+Expensive setup that used to be repeated per test file lives here:
+
+* ``kernel_module`` — a session-scoped compile cache: each (kernel,
+  opt_level) pair is compiled to optimized IR exactly once per test run,
+  and every caller gets a private clone (tests customize/rewrite modules
+  in place);
+* ``api_session`` — a fresh, isolated :class:`repro.api.Session`,
+  closed on teardown;
+* ``seeded_population`` — the fixed-seed 25-kernel generated workload
+  population shared by the differential harnesses (generation only;
+  tests that need registry names use it as a context manager);
+* ``copies`` — the per-run argument-copy helper every differential test
+  needs (simulators write back into list arguments).
+"""
 
 from __future__ import annotations
 
@@ -10,6 +25,9 @@ from repro.frontend import compile_c
 from repro.opt import optimize
 from repro.workloads import get_kernel
 
+from _shared import (
+    POPULATION_COUNT, POPULATION_SEED, arg_copies, build_kernel_module,
+)
 
 @pytest.fixture(autouse=True)
 def _clean_extension_library():
@@ -17,6 +35,49 @@ def _clean_extension_library():
     reset_global_library()
     yield
     reset_global_library()
+
+
+@pytest.fixture(scope="session")
+def kernel_module():
+    """Fixture form of :func:`build_kernel_module` (shared compile cache)."""
+    return build_kernel_module
+
+
+@pytest.fixture
+def medical_evaluator():
+    """Factory for the small compiled-engine evaluator the batch-layer
+    tests share: the "medical" mix at size 8."""
+    from repro.dse import Evaluator
+    from repro.workloads import get_mix
+
+    def build(**kwargs):
+        return Evaluator(get_mix("medical"), size=8, engine="compiled",
+                         **kwargs)
+
+    return build
+
+
+@pytest.fixture
+def api_session():
+    """A fresh, isolated service session (own artifact store)."""
+    from repro.api import Session
+
+    with Session() as session:
+        yield session
+
+
+@pytest.fixture(scope="session")
+def seeded_population():
+    """The fixed-seed generated workload population (25 kernels)."""
+    from repro.gen import WorkloadPopulation
+
+    return WorkloadPopulation.generate(POPULATION_COUNT, seed=POPULATION_SEED)
+
+
+@pytest.fixture
+def copies():
+    """Fixture form of :func:`arg_copies`."""
+    return arg_copies
 
 
 @pytest.fixture

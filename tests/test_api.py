@@ -40,9 +40,7 @@ from repro.pipeline import CompilePipeline, global_compile_pipeline
 from repro.toolchain import Toolchain, run_matrix
 from repro.workloads import get_kernel, get_mix
 
-
-def _copies(args):
-    return tuple(list(a) if isinstance(a, list) else a for a in args)
+from _shared import arg_copies as _copies
 
 
 ALL_REQUESTS = [
@@ -78,12 +76,51 @@ class TestRequestRoundTrips:
             "kind": "matrix", "schema_version": 1,
             "machines": ["vliw4", "risc_baseline"],
             "kernels": ["dot_product"], "size": 16, "seed": None,
-            "opt_level": None, "engine": None,
+            "opt_level": None, "engine": None, "fidelity": None,
         }, sort_keys=True)
         request = request_from_json(golden)
         assert request == MatrixRequest(machines=["vliw4", "risc_baseline"],
                                         kernels=["dot_product"], size=16)
         assert request.to_json() == golden
+
+    def test_pre_fidelity_matrix_request_still_parses(self):
+        """Messages minted before the fidelity field existed stay valid."""
+        legacy = json.dumps({
+            "kind": "matrix", "schema_version": 1,
+            "machines": ["vliw4"], "kernels": None, "size": 16,
+            "seed": None, "opt_level": None, "engine": None,
+        }, sort_keys=True)
+        request = request_from_json(legacy)
+        assert request.fidelity is None
+        assert request == MatrixRequest(machines=["vliw4"], size=16)
+
+    def test_golden_explore_request_with_fidelity(self):
+        golden = json.dumps({
+            "kind": "explore", "schema_version": 1, "mix": "video",
+            "strategy": "exhaustive", "objective": "perf_per_area",
+            "size": 16, "seed": None, "opt_level": None, "engine": None,
+            "fidelity": "trace", "rescore": True, "space": None,
+            "search_seed": None, "iterations": 40, "max_rounds": 4,
+            "workers": None,
+        }, sort_keys=True)
+        request = request_from_json(golden)
+        assert request == ExploreRequest(mix="video", size=16,
+                                         fidelity="trace", rescore=True)
+        assert request.to_json() == golden
+
+    def test_fidelity_validation(self):
+        with pytest.raises(ValueError):
+            ExploreRequest(fidelity="clairvoyant")
+        with pytest.raises(ValueError):
+            MatrixRequest(machines=["vliw4"], fidelity="clairvoyant")
+
+    def test_golden_provenance_round_trip_with_fidelity(self):
+        provenance = Provenance(session="s", engine="compiled",
+                                fidelity="trace+rescore", elapsed_s=0.5)
+        data = provenance.to_dict()
+        assert data["fidelity"] == "trace+rescore"
+        rebuilt = Provenance.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == provenance
 
     def test_golden_run_request(self):
         golden = json.dumps({

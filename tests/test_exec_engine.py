@@ -26,19 +26,14 @@ from repro.sim import FunctionalSimulator, SimulationError
 from repro.toolchain import Toolchain
 from repro.workloads import KERNELS, get_kernel, get_mix, run_kernel, validate_suite
 
+from _shared import build_kernel_module
+
 
 @pytest.fixture(autouse=True)
 def _clean_code_cache():
     reset_global_code_cache()
     yield
     reset_global_code_cache()
-
-
-def _compiled_kernel_module(name: str, opt_level: int = 2):
-    kernel = get_kernel(name)
-    module = compile_c(kernel.source, module_name=name)
-    optimize(module, level=opt_level)
-    return kernel, module
 
 
 def _run_both(module, entry, args):
@@ -57,7 +52,7 @@ class TestDifferentialSuite:
 
     @pytest.mark.parametrize("name", sorted(KERNELS))
     def test_kernel_matches_interpreter(self, name):
-        kernel, module = _compiled_kernel_module(name)
+        kernel, module = build_kernel_module(name)
         args = kernel.arguments(None, seed=99)
         (va, aa, pa), (vb, ab, pb) = _run_both(module, kernel.entry, args)
         assert vb == va
@@ -67,7 +62,7 @@ class TestDifferentialSuite:
 
     @pytest.mark.parametrize("name", ["sad16", "viterbi_acs", "saturated_add"])
     def test_kernel_with_custom_ops_matches_interpreter(self, name):
-        kernel, module = _compiled_kernel_module(name)
+        kernel, module = build_kernel_module(name)
         toolchain = Toolchain(vliw4())
         toolchain.customize(module, area_budget_kgates=40.0)
         assert any(inst.opcode is Opcode.CUSTOM
@@ -81,7 +76,7 @@ class TestDifferentialSuite:
         assert pa.opcode_counts.get("custom", 0) > 0
 
     def test_run_profiled_applies_identical_frequencies(self):
-        kernel, module = _compiled_kernel_module("dot_product")
+        kernel, module = build_kernel_module("dot_product")
         clone = module.clone()
         args = kernel.arguments(None, seed=3)
         FunctionalSimulator(module).run_profiled(
@@ -107,7 +102,7 @@ int fib(int n) {
         assert pa == pb
 
     def test_max_steps_enforced(self):
-        kernel, module = _compiled_kernel_module("dot_product")
+        kernel, module = build_kernel_module("dot_product")
         args = kernel.arguments(None, seed=1)
         simulator = CompiledSimulator(module, max_steps=10)
         with pytest.raises(SimulationError):
@@ -140,16 +135,16 @@ int fib(int n) {
 
 class TestCodeCache:
     def test_fingerprint_stable_across_clones(self):
-        _kernel, module = _compiled_kernel_module("fir_filter")
+        _kernel, module = build_kernel_module("fir_filter")
         assert module_fingerprint(module) == module_fingerprint(module.clone())
 
     def test_fingerprint_distinguishes_different_modules(self):
-        _k1, m1 = _compiled_kernel_module("fir_filter")
-        _k2, m2 = _compiled_kernel_module("dot_product")
+        _k1, m1 = build_kernel_module("fir_filter")
+        _k2, m2 = build_kernel_module("dot_product")
         assert module_fingerprint(m1) != module_fingerprint(m2)
 
     def test_structurally_identical_modules_share_translation(self):
-        kernel, module = _compiled_kernel_module("dot_product")
+        kernel, module = build_kernel_module("dot_product")
         cache = CodeCache()
         first = CompiledSimulator(module, cache=cache)
         second = CompiledSimulator(module.clone(), cache=cache)
@@ -162,7 +157,7 @@ class TestCodeCache:
         assert second.run(kernel.entry, *run_args) == kernel.expected(args)
 
     def test_mutated_module_misses_cache(self):
-        _kernel, module = _compiled_kernel_module("dot_product")
+        _kernel, module = build_kernel_module("dot_product")
         cache = CodeCache()
         cache.get_or_translate(module)
         clone = module.clone()
@@ -175,8 +170,8 @@ class TestCodeCache:
 
     def test_lru_eviction(self):
         cache = CodeCache(capacity=1)
-        _k1, m1 = _compiled_kernel_module("dot_product")
-        _k2, m2 = _compiled_kernel_module("crc32")
+        _k1, m1 = build_kernel_module("dot_product")
+        _k2, m2 = build_kernel_module("crc32")
         cache.get_or_translate(m1)
         cache.get_or_translate(m2)
         assert len(cache) == 1
@@ -185,7 +180,7 @@ class TestCodeCache:
 
 class TestEngineSelector:
     def test_make_functional_simulator_dispatch(self):
-        _kernel, module = _compiled_kernel_module("dot_product")
+        _kernel, module = build_kernel_module("dot_product")
         assert isinstance(make_functional_simulator(module), FunctionalSimulator)
         assert isinstance(make_functional_simulator(module, engine="compiled"),
                           CompiledSimulator)
@@ -193,7 +188,7 @@ class TestEngineSelector:
             make_functional_simulator(module, engine="quantum")
 
     def test_toolchain_engine_selection(self):
-        kernel, module = _compiled_kernel_module("ip_checksum")
+        kernel, module = build_kernel_module("ip_checksum")
         args = kernel.arguments(None, seed=2)
         reference = Toolchain(vliw4()).run_reference(
             module, kernel.entry,
@@ -232,8 +227,9 @@ class TestEngineSelector:
 
 
 class TestBatchEvaluator:
-    def _evaluator(self):
-        return Evaluator(get_mix("medical"), size=8, engine="compiled")
+    @pytest.fixture(autouse=True)
+    def _bind_evaluator(self, medical_evaluator):
+        self._evaluator = medical_evaluator
 
     def test_deduplicates_and_memoizes(self):
         batch = BatchEvaluator(self._evaluator())

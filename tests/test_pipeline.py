@@ -424,9 +424,9 @@ class TestEngineRegistry:
 # ----------------------------------------------------------------------
 
 class TestBatchEvaluatorStore:
-    def _evaluator(self):
-        return Evaluator(get_mix("medical"), size=8, engine="compiled",
-                         pipeline=CompilePipeline())
+    @pytest.fixture(autouse=True)
+    def _bind_evaluator(self, medical_evaluator):
+        self._evaluator = lambda: medical_evaluator(pipeline=CompilePipeline())
 
     def test_two_batches_share_a_store(self):
         store = ArtifactStore(capacity=None)
