@@ -1,0 +1,214 @@
+"""E13 — service daemon under concurrent mixed client load.
+
+PR 6 moved execution behind a persistent daemon; this benchmark prices
+that move.  One daemon (shared disk store, sharded worker pool) is
+warmed with the E5 machine × kernel validation matrix, then a fleet of
+concurrent clients replays a mixed request stream against it — full
+42-cell matrices, single-machine matrix slices, and individual kernel
+runs — the "8 concurrent clients, one warm daemon" load shape of the
+ISSUE-6 acceptance test.
+
+Measured: per-request latency (p50/p99), end-to-end throughput, and the
+cache economics of the shared store (warm matrix cells must be served
+from the cell memo, not recomputed).  Asserted: every concurrent matrix
+response is bit-identical to a single-process ``Session.execute`` of
+the same request, and the fleet-wide cell hit rate stays above the
+ISSUE-6 floor (≥90%, ``E13_MIN_HIT_RATE`` to override).  Results go to
+``BENCH_service_load.json`` at the repository root.
+
+Scale knobs (CI smoke shrinks these; defaults exercise hundreds of
+requests): ``E13_CLIENTS``, ``E13_REQUESTS_PER_CLIENT``,
+``E13_WORKERS``, ``E13_WORKER_MODE``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+from repro.api import Session
+from repro.api.requests import MatrixRequest, RunRequest
+from repro.service import CELL_STAGE, ServiceClient, ServiceDaemon
+
+from conftest import print_table, run_once
+
+#: the E5 validation-matrix shape: 6 machines x 7 kernels = 42 cells.
+MACHINES = ["risc32", "vliw2", "vliw4", "vliw8", "vliw4c2", "dsp16"]
+KERNELS = ["dot_product", "saturated_add", "viterbi_acs", "sad16",
+           "rgb_to_gray", "ip_checksum", "histogram"]
+SIZE = 24
+
+CLIENTS = int(os.environ.get("E13_CLIENTS", 8))
+REQUESTS_PER_CLIENT = int(os.environ.get("E13_REQUESTS_PER_CLIENT", 25))
+WORKERS = int(os.environ.get("E13_WORKERS", 4))
+WORKER_MODE = os.environ.get("E13_WORKER_MODE", "thread")
+
+#: acceptance floor for the fleet-wide warm cell hit rate (ISSUE 6).
+MIN_HIT_RATE = 0.90
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service_load.json"
+
+
+def _full_matrix() -> MatrixRequest:
+    return MatrixRequest(machines=MACHINES, kernels=KERNELS, size=SIZE)
+
+
+def _request_stream(client_index: int):
+    """One client's mixed request list (deterministic per client)."""
+    requests = []
+    for index in range(REQUESTS_PER_CLIENT):
+        slot = (client_index + index) % 5
+        if slot == 0:
+            requests.append(RunRequest(
+                kernel=KERNELS[index % len(KERNELS)],
+                machine=MACHINES[index % len(MACHINES)],
+                size=SIZE, engine="cycle"))
+        elif slot == 1:
+            requests.append(MatrixRequest(
+                machines=[MACHINES[index % len(MACHINES)]],
+                kernels=KERNELS, size=SIZE))
+        else:
+            requests.append(_full_matrix())
+    return requests
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       int(fraction * (len(ordered) - 1) + 0.5))]
+
+
+def _cell_economics(stats):
+    hits = misses = 0
+    for worker_stats in stats["workers"].values():
+        stage = worker_stats.get(CELL_STAGE, {})
+        hits += int(stage.get("hits", 0))
+        misses += int(stage.get("misses", 0))
+    return hits, misses
+
+
+def test_e13_service_load(benchmark, tmp_path):
+    with Session(name="bench-e13-oracle") as oracle_session:
+        oracle = oracle_session.execute(_full_matrix()).to_dict()
+    oracle.pop("provenance")
+
+    daemon = ServiceDaemon(str(tmp_path / "svc"), workers=WORKERS,
+                           worker_mode=WORKER_MODE, name="bench-e13",
+                           task_timeout=600.0)
+    with daemon:
+        with ServiceClient(daemon.endpoint) as warm:
+            warm_start = time.perf_counter()
+            warm_response = warm.execute(_full_matrix(), timeout=600)
+            warm_seconds = time.perf_counter() - warm_start
+            warm_dict = warm_response.to_dict()
+            warm_dict.pop("provenance")
+            assert warm_dict == oracle, "cold daemon matrix diverged"
+            # Compulsory cold misses end here; the hit-rate floor
+            # applies to the concurrent phase against the warm store.
+            warm_hits, warm_misses = _cell_economics(warm.stats())
+
+        latencies = [[] for _ in range(CLIENTS)]
+        matrix_responses = [[] for _ in range(CLIENTS)]
+        errors = []
+
+        def drive(client_index: int) -> None:
+            try:
+                with ServiceClient(daemon.endpoint) as client:
+                    for request in _request_stream(client_index):
+                        start = time.perf_counter()
+                        response = client.execute(request, timeout=600)
+                        latencies[client_index].append(
+                            time.perf_counter() - start)
+                        if (request.kind == "matrix"
+                                and len(request.machines) == len(MACHINES)):
+                            matrix_responses[client_index].append(
+                                response.to_dict())
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(f"client {client_index}: {exc}")
+
+        def experiment():
+            threads = [threading.Thread(target=drive, args=(index,),
+                                        name=f"e13-client-{index}")
+                       for index in range(CLIENTS)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - start
+
+        wall_seconds = run_once(benchmark, experiment)
+
+        with ServiceClient(daemon.endpoint) as reporter:
+            stats = reporter.stats()
+
+    assert not errors, errors
+    flat = [sample for per_client in latencies for sample in per_client]
+    total_requests = len(flat)
+    assert total_requests == CLIENTS * REQUESTS_PER_CLIENT
+
+    p50 = _percentile(flat, 0.50)
+    p99 = _percentile(flat, 0.99)
+    throughput = total_requests / wall_seconds if wall_seconds else 0.0
+    total_hits, total_misses = _cell_economics(stats)
+    hits = total_hits - warm_hits
+    misses = total_misses - warm_misses
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    for per_client in matrix_responses:
+        for response in per_client:
+            response.pop("provenance")
+            assert response == oracle, \
+                "concurrent matrix response diverged from Session.execute"
+    matrix_count = sum(len(per_client) for per_client in matrix_responses)
+
+    print_table("E13: service load summary", [{
+        "clients": CLIENTS,
+        "requests": total_requests,
+        "wall_s": round(wall_seconds, 2),
+        "rps": round(throughput, 1),
+        "p50_ms": round(p50 * 1e3, 1),
+        "p99_ms": round(p99 * 1e3, 1),
+        "cell_hit%": round(100 * hit_rate, 1),
+    }])
+    print(f"\nE13 summary: {total_requests} mixed requests from {CLIENTS} "
+          f"concurrent clients against one warm daemon ({WORKERS} "
+          f"{WORKER_MODE} workers): {throughput:.1f} req/s, p50 "
+          f"{p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms; cold 42-cell "
+          f"matrix {warm_seconds:.2f} s; fleet cell-memo hit rate "
+          f"{100 * hit_rate:.1f}% ({hits} hits / {misses} misses); "
+          f"{matrix_count} full-matrix responses bit-identical to "
+          f"Session.execute.")
+
+    OUTPUT.write_text(json.dumps({
+        "experiment": "e13_service_load",
+        "python": platform.python_version(),
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "workers": WORKERS,
+        "worker_mode": WORKER_MODE,
+        "matrix_cells": len(MACHINES) * len(KERNELS),
+        "requests": total_requests,
+        "warm_matrix_seconds": round(warm_seconds, 4),
+        "wall_seconds": round(wall_seconds, 4),
+        "throughput_rps": round(throughput, 2),
+        "latency_p50_s": round(p50, 5),
+        "latency_p99_s": round(p99, 5),
+        "cell_hits": hits,
+        "cell_misses": misses,
+        "cell_hit_rate": round(hit_rate, 4),
+        "matrix_responses_checked": matrix_count,
+        "queue": stats["queue"],
+        "store": {key: stats["store"][key]
+                  for key in ("entries", "bytes", "size_budget_bytes")},
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {OUTPUT.name}")
+
+    assert stats["queue"]["failed"] == 0
+    floor = float(os.environ.get("E13_MIN_HIT_RATE", MIN_HIT_RATE))
+    assert hit_rate >= floor, (
+        f"fleet cell hit rate {hit_rate:.3f} below the {floor:.2f} floor")

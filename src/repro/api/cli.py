@@ -14,9 +14,24 @@ and CI::
     python -m repro gen --count 10 --seed 7
     python -m repro compile --kernel sad16 --machine dsp16 --pretty
 
+The service subcommands run the same requests through a persistent
+daemon (:mod:`repro.service`) with a durable job queue and a shared
+cross-process artifact store::
+
+    python -m repro serve --root /tmp/repro-svc --service-workers 4
+    python -m repro submit --request req.json --wait      # or poll:
+    python -m repro submit --request req.json             # prints job id
+    python -m repro status --id job-000001
+    python -m repro result --id job-000001
+    python -m repro cancel --id job-000002
+
+Client subcommands find the daemon through ``--endpoint`` or the
+``REPRO_SERVICE_SOCKET`` environment variable.
+
 Exit status is 0 on success; correctness-checking subcommands (``run``,
-``customize``, ``matrix``, ``gen``) exit 1 when a result disagrees with
-its oracle, and 2 on a request/validation error.
+``customize``, ``matrix``, ``gen``, and ``submit --wait``/``result``)
+exit 1 when a result disagrees with its oracle, and 2 on a
+request/validation error.
 """
 
 from __future__ import annotations
@@ -168,6 +183,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the dual-engine validation pass")
     _add_common(gen_p)
 
+    serve_p = commands.add_parser(
+        "serve", help="run a persistent service daemon (durable job "
+                      "queue + shared artifact store + worker pool)")
+    serve_p.add_argument("--root", required=True,
+                         help="daemon state directory (queue journal, "
+                              "shared store, default unix socket)")
+    serve_p.add_argument("--endpoint", default=None,
+                         help="unix:/path or tcp:host:port (default: "
+                              "unix socket under --root)")
+    serve_p.add_argument("--service-workers", type=int, default=2,
+                         help="worker pool width (0 = serve in-process)")
+    serve_p.add_argument("--worker-mode", default="process",
+                         choices=("process", "thread"),
+                         help="worker isolation: separate processes "
+                              "(default) or in-process threads")
+    serve_p.add_argument("--store-budget-bytes", type=int, default=None,
+                         help="LRU-evict the shared store above this size")
+    serve_p.add_argument("--duration", type=float, default=None,
+                         help="exit after SECONDS (default: run until "
+                              "interrupted or a client sends shutdown)")
+
+    def _add_client(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--endpoint", default=None,
+                            help="daemon endpoint (default: "
+                                 "$REPRO_SERVICE_SOCKET)")
+
+    submit_p = commands.add_parser(
+        "submit", help="queue a request JSON on a running daemon")
+    submit_p.add_argument("--request", required=True, metavar="FILE",
+                          help="request JSON file ('-' for stdin)")
+    submit_p.add_argument("--priority", type=int, default=0)
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until done and print the response "
+                               "(instead of the job record)")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          help="with --wait: give up after SECONDS")
+    submit_p.add_argument("--pretty", action="store_true")
+    _add_client(submit_p)
+
+    status_p = commands.add_parser(
+        "status", help="print a job's journal record (or daemon stats)")
+    status_p.add_argument("--id", default=None, help="job id; omit for "
+                          "daemon-wide queue/store/worker stats")
+    status_p.add_argument("--pretty", action="store_true")
+    _add_client(status_p)
+
+    result_p = commands.add_parser(
+        "result", help="wait for a job and print its response JSON")
+    result_p.add_argument("--id", required=True)
+    result_p.add_argument("--timeout", type=float, default=None)
+    result_p.add_argument("--pretty", action="store_true")
+    _add_client(result_p)
+
+    cancel_p = commands.add_parser(
+        "cancel", help="cancel a queued job (running jobs finish)")
+    cancel_p.add_argument("--id", required=True)
+    cancel_p.add_argument("--pretty", action="store_true")
+    _add_client(cancel_p)
+
     return parser
 
 
@@ -230,10 +304,77 @@ def _succeeded(response) -> bool:
     return True
 
 
+def _emit(args: argparse.Namespace, data) -> None:
+    indent = 2 if getattr(args, "pretty", False) else None
+    sys.stdout.write(json.dumps(data, sort_keys=True, indent=indent) + "\n")
+
+
+def _service_main(args: argparse.Namespace) -> int:
+    from ..service import JobFailed, ServiceClient, ServiceDaemon, ServiceError
+
+    if args.command == "serve":
+        daemon = ServiceDaemon(
+            args.root, endpoint=args.endpoint,
+            workers=args.service_workers, worker_mode=args.worker_mode,
+            store_budget_bytes=args.store_budget_bytes)
+        with daemon:
+            print(json.dumps({"endpoint": daemon.endpoint,
+                              "store_dir": daemon.store_dir,
+                              "workers": daemon.workers,
+                              "worker_mode": daemon.worker_mode},
+                             sort_keys=True), flush=True)
+            import time as _time
+
+            deadline = (None if args.duration is None
+                        else _time.monotonic() + args.duration)
+            try:
+                while not daemon._stopping:
+                    if deadline is not None and _time.monotonic() >= deadline:
+                        break
+                    _time.sleep(0.2)
+            except KeyboardInterrupt:
+                pass
+        return 0
+
+    try:
+        client = ServiceClient(args.endpoint)
+        if args.command == "submit":
+            request = request_from_json(_read_text(args.request))
+            handle = client.submit(request, priority=args.priority)
+            if not args.wait:
+                _emit(args, handle.record)
+                return 0
+            response = handle.result(timeout=args.timeout)
+            _emit(args, response.to_dict())
+            return 0 if _succeeded(response) else 1
+        if args.command == "status":
+            _emit(args, client.status(args.id) if args.id
+                  else client.stats())
+            return 0
+        if args.command == "result":
+            response = client.result(args.id, timeout=args.timeout)
+            _emit(args, response.to_dict())
+            return 0 if _succeeded(response) else 1
+        if args.command == "cancel":
+            cancelled = client.cancel(args.id)
+            _emit(args, {"id": args.id, "cancelled": cancelled})
+            return 0 if cancelled else 1
+    except JobFailed as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ServiceError, SchemaError, OSError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    raise SchemaError(f"unknown command {args.command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from ..frontend.c_frontend import CFrontendError
 
     args = build_parser().parse_args(argv)
+    if args.command in ("serve", "submit", "status", "result", "cancel"):
+        return _service_main(args)
     try:
         request = _build_request(args)
         with Session(workers=getattr(args, "workers", 0) or 0) as session:

@@ -119,6 +119,9 @@ class Provenance:
     elapsed_s: float = 0.0
     stages: List[Dict[str, object]] = field(default_factory=list)
     cache: Dict[str, object] = field(default_factory=dict)
+    #: id of the service worker that produced the response ("" when the
+    #: request ran in-process rather than through a daemon's pool).
+    worker: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -128,6 +131,7 @@ class Provenance:
             "elapsed_s": self.elapsed_s,
             "stages": [dict(record) for record in self.stages],
             "cache": _plain(self.cache),
+            "worker": self.worker,
         }
 
     @classmethod

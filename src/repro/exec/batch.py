@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..dse.space import DesignPoint
-from ..pipeline.store import ArtifactStore
+from ..pipeline.store import ArtifactStore, SupportsArtifactStore
 
 #: bump when the evaluation recipe or on-disk format changes incompatibly
 #: (2: the memo moved into ArtifactStore — cache_dir/evaluation/<key>.pkl
@@ -132,7 +132,7 @@ class BatchEvaluator:
 
     def __init__(self, evaluator, workers: int = 0,
                  cache_dir: Optional[str] = None,
-                 store: Optional[ArtifactStore] = None) -> None:
+                 store: Optional[SupportsArtifactStore] = None) -> None:
         self.evaluator = evaluator
         self.workers = workers
         self.cache_dir = cache_dir

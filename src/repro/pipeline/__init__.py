@@ -21,10 +21,12 @@ from .fingerprints import (
     opt_fingerprint, source_fingerprint, trace_fingerprint,
 )
 from .stage import Stage, StageRecord
-from .store import ArtifactStore, StageArtifact, StageStats
+from .store import (
+    ArtifactStore, StageArtifact, StageStats, SupportsArtifactStore,
+)
 
 __all__ = [
-    "ArtifactStore", "StageArtifact", "StageStats",
+    "ArtifactStore", "StageArtifact", "StageStats", "SupportsArtifactStore",
     "Stage", "StageRecord",
     "CompilePipeline", "FrontendStage", "OptimizeStage", "BackendStage",
     "EncodeStage", "TraceStage", "global_compile_pipeline",

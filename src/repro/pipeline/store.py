@@ -23,7 +23,7 @@ import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Protocol, runtime_checkable
 
 
 @dataclass
@@ -59,6 +59,10 @@ class StageStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: disk entries dropped by a size-budget sweep (disk-backed stores).
+    disk_evictions: int = 0
+    #: disk entries whose content fingerprint did not match (quarantined).
+    corrupt: int = 0
     #: wall-clock spent building artifacts on misses.
     seconds_built: float = 0.0
     #: build seconds avoided by serving hits from the store.
@@ -77,9 +81,37 @@ class StageStats:
         return {"hits": self.hits, "disk_hits": self.disk_hits,
                 "misses": self.misses, "puts": self.puts,
                 "evictions": self.evictions,
+                "disk_evictions": self.disk_evictions,
+                "corrupt": self.corrupt,
                 "hit_rate": round(self.hit_rate, 4),
                 "seconds_built": round(self.seconds_built, 6),
                 "seconds_saved": round(self.seconds_saved, 6)}
+
+
+@runtime_checkable
+class SupportsArtifactStore(Protocol):
+    """The ``(stage, key)`` store protocol the pipeline layers code to.
+
+    Anything honouring it — the in-process :class:`ArtifactStore`, the
+    cross-process :class:`repro.service.DiskArtifactStore` — can back a
+    :class:`~repro.pipeline.compile.CompilePipeline`, a
+    :class:`~repro.exec.batch.BatchEvaluator`, or a
+    :class:`~repro.api.Session`.
+    """
+
+    def get(self, stage: str, key: str,
+            persist: bool = False) -> Optional["StageArtifact"]:
+        """The artifact for ``(stage, key)``, or None on a miss."""
+
+    def put(self, stage: str, key: str, payload: object,
+            seconds: float = 0.0, persist: bool = False) -> "StageArtifact":
+        """Insert a freshly built payload; returns its artifact record."""
+
+    def stats(self, stage: str) -> StageStats:
+        """Counters for ``stage`` (created on first use)."""
+
+    def stats_dict(self) -> Dict[str, Dict[str, object]]:
+        """All per-stage counters, for reports and benchmarks."""
 
 
 class ArtifactStore:

@@ -1,0 +1,271 @@
+"""Client side of the service daemon: Session-shaped, future-backed.
+
+:class:`ServiceClient` speaks the framed-JSON protocol to a running
+:class:`~repro.service.daemon.ServiceDaemon` and mirrors the
+:class:`repro.api.Session` surface: :meth:`execute` blocks for one
+request/response round-trip, :meth:`submit` returns a future-backed
+:class:`JobHandle`, :meth:`run_batch` submits a mixed request list and
+collects responses in order.  Requests go in as the serializable
+dataclasses of :mod:`repro.api.requests` (or their dict form) and come
+back as the matching response dataclasses, so swapping a ``Session``
+for a ``ServiceClient`` is a one-line change.
+
+The module also hosts the **service-backed pipeline** used by the
+deprecated ``global_compile_pipeline()`` shims: when the
+``REPRO_SERVICE_SOCKET`` environment variable names a live daemon, the
+shim compiles against the daemon's shared
+:class:`~repro.service.diskstore.DiskArtifactStore` so legacy callers
+join the fleet-wide cache instead of a private in-process one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from . import protocol
+
+#: environment variable naming the daemon endpoint for implicit clients
+#: (the deprecation shims, the CLI's client subcommands).
+ENDPOINT_ENV = "REPRO_SERVICE_SOCKET"
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected an operation (or is unreachable)."""
+
+
+class JobFailed(ServiceError):
+    """A submitted job ended failed or cancelled.
+
+    ``record`` holds the final job journal dict (state, error,
+    attempts) for post-mortems.
+    """
+
+    def __init__(self, message: str, record: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.record = record or {}
+
+
+class JobHandle:
+    """Future-backed access to one submitted job."""
+
+    def __init__(self, client: "ServiceClient", record: Dict[str, object]
+                 ) -> None:
+        self.client = client
+        self.id = str(record["id"])
+        self._record = record
+
+    @property
+    def record(self) -> Dict[str, object]:
+        return dict(self._record)
+
+    def status(self) -> str:
+        """Current job state (refreshes the cached record)."""
+        self._record = self.client.status(self.id)
+        return str(self._record["state"])
+
+    def done(self) -> bool:
+        return self.status() in ("done", "failed", "cancelled")
+
+    def cancel(self) -> bool:
+        return self.client.cancel(self.id)
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until terminal; the response object, or JobFailed."""
+        return self.client.result(self.id, timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobHandle({self.id!r}, state={self._record.get('state')!r})"
+
+
+class ServiceClient:
+    """One connection to a service daemon, usable from one thread at a
+    time (ops serialize on an internal lock)."""
+
+    def __init__(self, endpoint: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        endpoint = endpoint or os.environ.get(ENDPOINT_ENV)
+        if not endpoint:
+            raise ServiceError(
+                "no daemon endpoint: pass one or set " + ENDPOINT_ENV)
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self._sock = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing.
+    # ------------------------------------------------------------------
+    def _call(self, message: Dict[str, object]) -> Dict[str, object]:
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = protocol.connect(self.endpoint,
+                                                  timeout=self.timeout)
+                protocol.send_frame(self._sock, message)
+                reply = protocol.recv_frame(self._sock)
+            except (OSError, protocol.ProtocolError) as exc:
+                self._drop_connection()
+                raise ServiceError(
+                    f"daemon at {self.endpoint} unreachable: {exc}") from exc
+            if reply is None:
+                self._drop_connection()
+                raise ServiceError(
+                    f"daemon at {self.endpoint} closed the connection")
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error", "daemon error")))
+        return reply
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Daemon introspection.
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def describe(self) -> Dict[str, object]:
+        return self._call({"op": "describe"})
+
+    def stats(self) -> Dict[str, object]:
+        return self._call({"op": "stats"})
+
+    def jobs(self, states: Optional[Sequence[str]] = None
+             ) -> List[Dict[str, object]]:
+        message: Dict[str, object] = {"op": "jobs"}
+        if states is not None:
+            message["states"] = list(states)
+        return list(self._call(message)["jobs"])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (queued jobs stay journaled)."""
+        self._call({"op": "shutdown"})
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Jobs (the Session-shaped surface).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _request_dict(request) -> Dict[str, object]:
+        if hasattr(request, "to_dict"):
+            return request.to_dict()
+        return dict(request)
+
+    def submit(self, request, priority: int = 0,
+               max_attempts: int = 3) -> JobHandle:
+        """Queue one request on the daemon; returns a JobHandle."""
+        reply = self._call({"op": "submit",
+                            "request": self._request_dict(request),
+                            "priority": priority,
+                            "max_attempts": max_attempts})
+        return JobHandle(self, reply["job"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return dict(self._call({"op": "status", "id": job_id})["job"])
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._call({"op": "cancel", "id": job_id})["cancelled"])
+
+    def result(self, job_id: str, timeout: Optional[float] = None,
+               poll_s: float = 0.05):
+        """Block until the job is terminal; returns the response object.
+
+        Raises :class:`JobFailed` for failed/cancelled jobs and
+        :class:`ServiceError` on timeout.
+        """
+        from ..api.requests import response_from_dict
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            reply = self._call({"op": "result", "id": job_id})
+            state = reply["state"]
+            if state == "done":
+                return response_from_dict(reply["response"])
+            if state in ("failed", "cancelled"):
+                record = reply.get("job", {})
+                raise JobFailed(
+                    f"job {job_id} {state}: {record.get('error')}",
+                    record=record)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} (state {state})")
+            time.sleep(poll_s)
+
+    def execute(self, request, timeout: Optional[float] = None,
+                priority: int = 0):
+        """Session-shaped blocking execution of one request."""
+        return self.submit(request, priority=priority).result(timeout=timeout)
+
+    def run_batch(self, requests: Sequence,
+                  timeout: Optional[float] = None) -> List:
+        """Submit a request list; responses in request order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result(timeout=timeout) for handle in handles]
+
+
+# ----------------------------------------------------------------------
+# The service-backed pipeline for the deprecation shims.
+# ----------------------------------------------------------------------
+
+_SERVICE_PIPELINE: Optional[tuple] = None
+_SERVICE_LOCK = threading.Lock()
+
+
+def configured_endpoint() -> Optional[str]:
+    """The daemon endpoint named by ``REPRO_SERVICE_SOCKET``, if any."""
+    return os.environ.get(ENDPOINT_ENV) or None
+
+
+def service_backed_pipeline():
+    """A CompilePipeline over the configured daemon's shared store.
+
+    Returns None when no endpoint is configured or the daemon does not
+    answer — callers fall back to their in-process default.  The
+    pipeline is cached per endpoint, so repeated shim calls share one
+    store handle (and its memory LRU).
+    """
+    global _SERVICE_PIPELINE
+    endpoint = configured_endpoint()
+    if endpoint is None:
+        return None
+    with _SERVICE_LOCK:
+        if (_SERVICE_PIPELINE is not None
+                and _SERVICE_PIPELINE[0] == endpoint):
+            return _SERVICE_PIPELINE[1]
+        try:
+            with ServiceClient(endpoint, timeout=5.0) as client:
+                info = client.describe()
+        except ServiceError:
+            return None
+        from ..pipeline.compile import CompilePipeline
+        from .diskstore import DiskArtifactStore
+
+        pipeline = CompilePipeline(
+            DiskArtifactStore(str(info["store_dir"])))
+        _SERVICE_PIPELINE = (endpoint, pipeline)
+        return pipeline
+
+
+def reset_service_pipeline() -> None:
+    """Drop the cached service-backed pipeline (tests, daemon restarts)."""
+    global _SERVICE_PIPELINE
+    with _SERVICE_LOCK:
+        _SERVICE_PIPELINE = None

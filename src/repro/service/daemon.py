@@ -1,0 +1,723 @@
+"""The persistent job daemon: durable queue + sharded worker fan-out.
+
+:class:`ServiceDaemon` is the long-lived process of the service layer.
+It owns three durable things under one root directory:
+
+* ``queue/`` — the :class:`~repro.service.queue.DurableQueue` journal,
+  so submitted jobs survive daemon restarts (running jobs are re-queued
+  on recovery, finished results stay fetchable);
+* ``store/`` — the shared
+  :class:`~repro.service.diskstore.DiskArtifactStore`, the **data
+  plane**: workers persist compile artifacts, matrix cells and design
+  -point evaluations there, and only content keys travel over sockets;
+* ``daemon.sock`` — one framed-JSON endpoint (unix socket by default,
+  ``tcp:host:port`` optional) serving both clients and workers: the
+  first frame of a connection declares the role.
+
+Fan-out requests are sharded over a pool of N workers (separate
+processes by default; in-process threads for tests and zero-install
+deployments) through :class:`TaskPool`.  Workers heartbeat while they
+compute; a worker that stops heartbeating or drops its connection is
+declared dead, its in-flight task is re-queued (bounded attempts), and
+— in process mode — a replacement is spawned.  The shard/merge rules
+live in :mod:`repro.service.tasks` and preserve bit-identity with a
+single-process :meth:`repro.api.Session.execute`.
+
+Exploration requests keep their sequential search loop in the daemon
+(strategies are stateful) but fan the design-point evaluations out via
+:class:`ShardedBatch`, a :class:`~repro.exec.batch.BatchEvaluator`
+whose miss path ships ``evaluate`` tasks to the pool and reads the
+resulting evaluations back from the shared store.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import itertools
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exec.batch import EVALUATION_STAGE, BatchEvaluator
+from . import protocol
+from .diskstore import DiskArtifactStore
+from .queue import DurableQueue, QueueError
+from .tasks import (
+    merge_matrix, merge_population, shard_matrix, shard_population,
+)
+
+
+class TaskError(RuntimeError):
+    """A pool task failed (worker error, repeated death, or timeout)."""
+
+
+class _PendingTask:
+    """One task in flight through the pool."""
+
+    __slots__ = ("uid", "payload", "event", "result", "error", "attempts",
+                 "done")
+
+    def __init__(self, uid: int, payload: Dict[str, object]) -> None:
+        self.uid = uid
+        self.payload = payload
+        self.event = threading.Event()
+        self.result: Optional[Dict[str, object]] = None
+        self.error: Optional[str] = None
+        self.attempts = 0
+        self.done = False
+
+
+class _WorkerLink:
+    """Daemon-side state of one connected worker."""
+
+    def __init__(self, worker_id: str, conn) -> None:
+        self.worker_id = worker_id
+        self.conn = conn
+        self.busy: Optional[_PendingTask] = None
+        self.last_seen = time.monotonic()
+        self.alive = True
+
+
+class TaskPool:
+    """Dispatches framed tasks to connected workers, with retry on death.
+
+    Retries happen only when a *worker dies* mid-task (connection drop
+    or stale heartbeat) — a task the worker itself reports as failed is
+    deterministic and fails immediately.  ``on_worker_lost`` lets the
+    daemon respawn process workers.
+    """
+
+    def __init__(self, task_retries: int = 2,
+                 on_worker_lost: Optional[Callable[[str], None]] = None
+                 ) -> None:
+        self.task_retries = task_retries
+        self.on_worker_lost = on_worker_lost
+        self._cv = threading.Condition()
+        self._tasks: "collections.deque[_PendingTask]" = collections.deque()
+        self._links: Dict[str, _WorkerLink] = {}
+        self._uid = itertools.count(1)
+        self._stopping = False
+        self._dispatcher: Optional[threading.Thread] = None
+        #: last reported per-worker store counters (cache economics).
+        self.worker_stats: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True, name="svc-dispatch")
+        self._dispatcher.start()
+
+    def live_ids(self) -> List[str]:
+        with self._cv:
+            return [link.worker_id for link in self._links.values()
+                    if link.alive]
+
+    def attach(self, conn, hello: Dict[str, object]) -> None:
+        """Adopt a freshly connected worker; starts its reader thread."""
+        worker_id = str(hello.get("worker", f"anon-{next(self._uid)}"))
+        link = _WorkerLink(worker_id, conn)
+        with self._cv:
+            if self._stopping:
+                link.alive = False
+            else:
+                self._links[worker_id] = link
+                self._cv.notify_all()
+        if not link.alive:
+            with contextlib.suppress(OSError):
+                conn.close()
+            return
+        threading.Thread(target=self._reader, args=(link,), daemon=True,
+                         name=f"svc-reader-{worker_id}").start()
+
+    # ------------------------------------------------------------------
+    # Task submission.
+    # ------------------------------------------------------------------
+    def run_many(self, payloads: Sequence[Dict[str, object]],
+                 timeout: Optional[float] = None) -> List[Dict[str, object]]:
+        """Run tasks through the pool; results in payload order.
+
+        Raises :class:`TaskError` if any task fails, times out, or
+        exhausts its worker-death retry budget.
+        """
+        pending = [_PendingTask(next(self._uid), payload)
+                   for payload in payloads]
+        with self._cv:
+            self._tasks.extend(pending)
+            self._cv.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            for task in pending:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise TaskError("task pool timeout")
+                if not task.event.wait(remaining):
+                    raise TaskError("task pool timeout")
+        finally:
+            # Detach every unfinished task so a late result (or a task
+            # still sitting in the deque) cannot leak into a dead call.
+            with self._cv:
+                stale = [t for t in pending if not t.event.is_set()]
+                for task in stale:
+                    task.done = True
+                if stale:
+                    self._tasks = collections.deque(
+                        t for t in self._tasks if not t.done)
+        errors = [task.error for task in pending if task.error is not None]
+        if errors:
+            raise TaskError(errors[0])
+        return [task.result for task in pending]
+
+    def run_task(self, payload: Dict[str, object],
+                 timeout: Optional[float] = None) -> Dict[str, object]:
+        return self.run_many([payload], timeout=timeout)[0]
+
+    # ------------------------------------------------------------------
+    # Dispatch and reading.
+    # ------------------------------------------------------------------
+    def _idle_link(self) -> Optional[_WorkerLink]:
+        for link in self._links.values():
+            if link.alive and link.busy is None:
+                return link
+        return None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._stopping:
+                    while self._tasks and self._tasks[0].done:
+                        self._tasks.popleft()
+                    if self._tasks and self._idle_link() is not None:
+                        break
+                    self._cv.wait(0.5)
+                if self._stopping:
+                    return
+                task = self._tasks.popleft()
+                link = self._idle_link()
+                link.busy = task
+            try:
+                protocol.send_frame(link.conn, {
+                    "op": "task", "id": task.uid, "task": task.payload})
+            except OSError:
+                self._worker_dead(link, "send failed")
+
+    def _reader(self, link: _WorkerLink) -> None:
+        while True:
+            try:
+                message = protocol.recv_frame(link.conn)
+            except (OSError, protocol.ProtocolError):
+                message = None
+            if message is None:
+                self._worker_dead(link, "connection lost")
+                return
+            link.last_seen = time.monotonic()
+            if message.get("op") != "result":
+                continue  # heartbeat (or unknown chatter)
+            with self._cv:
+                task, link.busy = link.busy, None
+                self._cv.notify_all()
+            if task is None or task.done:
+                continue
+            if message.get("ok"):
+                task.result = message.get("result") or {}
+                store = task.result.get("store")
+                if isinstance(store, dict):
+                    self.worker_stats[link.worker_id] = store
+            else:
+                task.error = str(message.get("error", "worker error"))
+            task.event.set()
+
+    def _worker_dead(self, link: _WorkerLink, reason: str) -> None:
+        with self._cv:
+            if not link.alive:
+                return
+            link.alive = False
+            self._links.pop(link.worker_id, None)
+            task, link.busy = link.busy, None
+            if task is not None and not task.done:
+                task.attempts += 1
+                if task.attempts > self.task_retries:
+                    task.error = (f"worker died {task.attempts} times "
+                                  f"running this task ({reason})")
+                    task.event.set()
+                    task = None
+                else:
+                    # Head of the line: the task already waited its turn.
+                    self._tasks.appendleft(task)
+            self._cv.notify_all()
+        with contextlib.suppress(OSError):
+            link.conn.close()
+        if self.on_worker_lost is not None and not self._stopping:
+            self.on_worker_lost(link.worker_id)
+
+    def reap_stale(self, heartbeat_timeout: float) -> List[str]:
+        """Declare workers with stale heartbeats dead; returns their ids."""
+        now = time.monotonic()
+        with self._cv:
+            stale = [link for link in self._links.values()
+                     if link.alive and now - link.last_seen > heartbeat_timeout]
+        for link in stale:
+            self._worker_dead(link, "heartbeat timeout")
+        return [link.worker_id for link in stale]
+
+    def stop(self) -> None:
+        with self._cv:
+            self._stopping = True
+            links = list(self._links.values())
+            self._cv.notify_all()
+        for link in links:
+            with contextlib.suppress(OSError):
+                protocol.send_frame(link.conn, {"op": "exit"})
+            with contextlib.suppress(OSError):
+                link.conn.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded exploration.
+# ----------------------------------------------------------------------
+
+class ShardedBatch(BatchEvaluator):
+    """A BatchEvaluator whose misses fan out as pool ``evaluate`` tasks.
+
+    Workers persist the evaluations into the shared store under the
+    standard ``evaluation`` stage and return only the content keys; the
+    daemon reads the payloads back — the store is the data plane, the
+    frames carry keys.  A key a worker claims but the daemon cannot
+    read (evicted between write and read) falls back to local
+    evaluation, so the batch never returns holes.
+    """
+
+    def __init__(self, evaluator, pool: TaskPool, store: DiskArtifactStore,
+                 chunk: int = 4, task_timeout: Optional[float] = None
+                 ) -> None:
+        super().__init__(evaluator, workers=0, store=store)
+        self.pool = pool
+        self.chunk = max(1, chunk)
+        self.task_timeout = task_timeout
+
+    def _evaluate_missing(self, items):
+        spec = asdict(self.spec)
+        spec["weights"] = [list(pair) for pair in self.spec.weights]
+        tasks = []
+        for start in range(0, len(items), self.chunk):
+            part = items[start:start + self.chunk]
+            tasks.append({
+                "task": "evaluate",
+                "spec": spec,
+                "points": [asdict(point) for _key, point in part],
+            })
+        self.pool.run_many(tasks, timeout=self.task_timeout)
+        evaluated = []
+        for key, point in items:
+            artifact = self.store.get(EVALUATION_STAGE, key, persist=True)
+            if artifact is not None:
+                evaluated.append((key, artifact.payload))
+            else:
+                evaluated.append((key, self.evaluator.evaluate(
+                    point.to_machine(),
+                    custom_area_budget=point.custom_area_budget)))
+        return evaluated
+
+
+# ----------------------------------------------------------------------
+# The daemon.
+# ----------------------------------------------------------------------
+
+class ServiceDaemon:
+    """Persistent daemon: durable queue, shared store, worker fan-out."""
+
+    def __init__(self, root: str, *, endpoint: Optional[str] = None,
+                 workers: int = 2, worker_mode: str = "process",
+                 job_runners: int = 2,
+                 store_budget_bytes: Optional[int] = None,
+                 heartbeat_timeout: float = 15.0,
+                 task_timeout: float = 600.0, task_retries: int = 2,
+                 evaluate_chunk: int = 4,
+                 worker_env: Optional[Dict[str, str]] = None,
+                 name: str = "daemon") -> None:
+        if worker_mode not in ("process", "thread"):
+            raise ValueError(
+                f"worker_mode must be 'process' or 'thread', "
+                f"not {worker_mode!r}")
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.name = name
+        self.endpoint = endpoint or "unix:" + os.path.join(
+            self.root, "daemon.sock")
+        self.store_dir = os.path.join(self.root, "store")
+        self.workers = max(0, int(workers))
+        self.worker_mode = worker_mode
+        self.job_runners = max(1, int(job_runners))
+        self.heartbeat_timeout = heartbeat_timeout
+        self.task_timeout = task_timeout
+        self.evaluate_chunk = evaluate_chunk
+        self.worker_env = dict(worker_env or {})
+
+        self.store = DiskArtifactStore(self.store_dir,
+                                       size_budget_bytes=store_budget_bytes)
+        self.queue = DurableQueue(os.path.join(self.root, "queue"))
+        self.pool = TaskPool(task_retries=task_retries,
+                             on_worker_lost=self._worker_lost)
+        self.session = self._make_session()
+
+        self._listener = None
+        self._threads: List[threading.Thread] = []
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._worker_seq = itertools.count(1)
+        self._client_conns: List[object] = []
+        self._state_lock = threading.Lock()
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _make_session(self):
+        from ..api.session import Session
+
+        daemon = self
+
+        class DaemonSession(Session):
+            """A Session whose design-point batches fan out to the pool."""
+
+            def batch_evaluator(self, evaluator, *, workers=None,
+                                cache_dir=None):
+                if daemon.workers > 0:
+                    return ShardedBatch(
+                        evaluator, daemon.pool, daemon.store,
+                        chunk=daemon.evaluate_chunk,
+                        task_timeout=daemon.task_timeout)
+                return super().batch_evaluator(evaluator, workers=workers,
+                                               cache_dir=cache_dir)
+
+        return DaemonSession(name=self.name, store=self.store)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceDaemon":
+        if self._started:
+            return self
+        self._started = True
+        self._listener = protocol.listen(self.endpoint)
+        self.pool.start()
+        self._spawn_thread(self._accept_loop, "svc-accept")
+        for index in range(self.job_runners):
+            self._spawn_thread(self._job_runner, f"svc-job-{index}")
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._spawn_thread(self._monitor_loop, "svc-monitor")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        with self._state_lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        # Let job runners finish the jobs they already claimed (queued
+        # jobs stay journaled for the next daemon), then drop the pool.
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            if thread.name.startswith("svc-job"):
+                thread.join(max(0.0, deadline - time.monotonic()))
+        self.pool.stop()
+        for proc in self._procs.values():
+            with contextlib.suppress(OSError):
+                proc.terminate()
+        for proc in self._procs.values():
+            try:
+                proc.wait(timeout=5.0)
+            except Exception:  # noqa: BLE001 - escalate to SIGKILL
+                with contextlib.suppress(OSError):
+                    proc.kill()
+        self._procs.clear()
+        for conn in list(self._client_conns):
+            with contextlib.suppress(OSError):
+                conn.close()
+        parsed = protocol.parse_endpoint(self.endpoint)
+        if parsed[0] == "unix" and os.path.exists(parsed[1]):
+            with contextlib.suppress(OSError):
+                os.unlink(parsed[1])
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _spawn_thread(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, daemon=True, name=name)
+        thread.start()
+        self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # Workers.
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> str:
+        worker_id = f"w{next(self._worker_seq)}"
+        if self.worker_mode == "thread":
+            from .worker import worker_loop
+
+            thread = threading.Thread(
+                target=worker_loop,
+                args=(self.endpoint, self.store_dir, worker_id),
+                kwargs={"heartbeat_s": min(2.0, self.heartbeat_timeout / 4)},
+                daemon=True, name=f"svc-worker-{worker_id}")
+            thread.start()
+            return worker_id
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(self.worker_env)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker",
+             "--endpoint", self.endpoint, "--store", self.store_dir,
+             "--id", worker_id,
+             "--heartbeat", str(min(2.0, self.heartbeat_timeout / 4))],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        with self._state_lock:
+            self._procs[worker_id] = proc
+        return worker_id
+
+    def _worker_lost(self, worker_id: str) -> None:
+        """Pool callback: clean up the dead worker, spawn a replacement."""
+        with self._state_lock:
+            if self._stopping:
+                return
+            proc = self._procs.pop(worker_id, None)
+        if proc is not None:
+            with contextlib.suppress(OSError):
+                proc.terminate()
+        self._spawn_worker()
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(0.5)
+            if self._stopping:
+                return
+            self.pool.reap_stale(self.heartbeat_timeout)
+            # A spawned process that died before ever connecting leaves
+            # no link for the pool to notice; replace it here.
+            live = set(self.pool.live_ids())
+            with self._state_lock:
+                dead = [wid for wid, proc in self._procs.items()
+                        if proc.poll() is not None and wid not in live]
+                for wid in dead:
+                    self._procs.pop(wid, None)
+            for _wid in dead:
+                if not self._stopping:
+                    self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    # Connections.
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             daemon=True, name="svc-conn").start()
+
+    def _serve_connection(self, conn) -> None:
+        try:
+            first = protocol.recv_frame(conn)
+        except (OSError, protocol.ProtocolError):
+            with contextlib.suppress(OSError):
+                conn.close()
+            return
+        if first is None:
+            with contextlib.suppress(OSError):
+                conn.close()
+            return
+        if first.get("op") == "hello" and first.get("role") == "worker":
+            self.pool.attach(conn, first)
+            return
+        self._client_conns.append(conn)
+        try:
+            message = first
+            while message is not None:
+                if message.get("op") == "hello":
+                    reply = {"ok": True, "role": "client",
+                             "daemon": self.name}
+                else:
+                    reply = self._client_op(message)
+                try:
+                    protocol.send_frame(conn, reply)
+                except OSError:
+                    break
+                if message.get("op") == "shutdown":
+                    break
+                try:
+                    message = protocol.recv_frame(conn)
+                except (OSError, protocol.ProtocolError):
+                    break
+        finally:
+            with contextlib.suppress(OSError):
+                conn.close()
+            if conn in self._client_conns:
+                self._client_conns.remove(conn)
+
+    # ------------------------------------------------------------------
+    # Client operations.
+    # ------------------------------------------------------------------
+    def _client_op(self, message: Dict[str, object]) -> Dict[str, object]:
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "describe":
+                return {"ok": True, "daemon": self.name,
+                        "endpoint": self.endpoint,
+                        "store_dir": self.store_dir,
+                        "workers": self.workers,
+                        "worker_mode": self.worker_mode,
+                        "live_workers": self.pool.live_ids()}
+            if op == "submit":
+                return self._op_submit(message)
+            if op == "status":
+                record = self.queue.get(str(message.get("id")))
+                return {"ok": True, "job": record.to_dict()}
+            if op == "result":
+                return self._op_result(message)
+            if op == "cancel":
+                cancelled = self.queue.cancel(str(message.get("id")))
+                record = self.queue.get(str(message.get("id")))
+                return {"ok": True, "cancelled": cancelled,
+                        "job": record.to_dict()}
+            if op == "jobs":
+                states = message.get("states")
+                records = self.queue.list(states)
+                return {"ok": True, "jobs": [r.to_dict() for r in records]}
+            if op == "stats":
+                return {"ok": True,
+                        "queue": self.queue.snapshot(),
+                        "store": {**self.store.describe(),
+                                  "stages": self.store.stats_dict()},
+                        "workers": dict(self.pool.worker_stats),
+                        "recovered": list(self.queue.recovered)}
+            if op == "shutdown":
+                threading.Thread(target=self.stop, daemon=True,
+                                 name="svc-shutdown").start()
+                return {"ok": True, "stopping": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except QueueError as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - client ops never kill conn
+            return {"ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    def _op_submit(self, message: Dict[str, object]) -> Dict[str, object]:
+        from ..api.requests import request_from_dict
+
+        request = message.get("request")
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "submit needs a request dict"}
+        request_from_dict(request)  # validate kind + schema before queueing
+        record = self.queue.submit(
+            request, priority=int(message.get("priority", 0)),
+            max_attempts=int(message.get("max_attempts", 3)))
+        return {"ok": True, "job": record.to_dict()}
+
+    def _op_result(self, message: Dict[str, object]) -> Dict[str, object]:
+        record = self.queue.get(str(message.get("id")))
+        reply: Dict[str, object] = {"ok": True, "job": record.to_dict(),
+                                    "state": record.state}
+        if record.state == "done":
+            reply["response"] = self.queue.result(record.id)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Job execution.
+    # ------------------------------------------------------------------
+    def _job_runner(self) -> None:
+        while not self._stopping:
+            record = self.queue.claim(timeout=0.25, worker=self.name)
+            if record is None:
+                continue
+            try:
+                response = self._run_job(record.request)
+            except Exception as exc:  # noqa: BLE001 - job fails, runner lives
+                with contextlib.suppress(QueueError):
+                    self.queue.fail(record.id,
+                                    f"{type(exc).__name__}: {exc}")
+                continue
+            with contextlib.suppress(QueueError):
+                self.queue.finish(record.id, response)
+
+    def _pool_provenance(self, engine: str, fidelity: str,
+                         started: float) -> Dict[str, object]:
+        from ..api.requests import Provenance
+
+        return Provenance(
+            session=self.name, engine=engine, fidelity=fidelity,
+            elapsed_s=round(time.perf_counter() - started, 6),
+            cache={"store": self.store.stats_dict(),
+                   "workers": dict(self.pool.worker_stats)},
+            worker="+".join(sorted(self.pool.worker_stats)) or "pool",
+        ).to_dict()
+
+    def _run_job(self, request: Dict[str, object]) -> Dict[str, object]:
+        from ..api.requests import (
+            ExploreRequest, MatrixRequest, PopulationRequest,
+            request_from_dict,
+        )
+
+        kind = request.get("kind")
+        if self.workers <= 0:
+            response = self.session.execute(request_from_dict(request))
+            if response.provenance is not None:
+                response.provenance.worker = self.name
+            return response.to_dict()
+        if kind == MatrixRequest.kind:
+            return self._run_matrix_job(request)
+        if kind == PopulationRequest.kind:
+            return self._run_population_job(request)
+        if kind == ExploreRequest.kind:
+            # Sequential search loop in the daemon; the point
+            # evaluations fan out through ShardedBatch (DaemonSession).
+            response = self.session.execute(request_from_dict(request))
+            if response.provenance is not None:
+                response.provenance.worker = (
+                    "+".join(sorted(self.pool.worker_stats)) or self.name)
+            return response.to_dict()
+        result = self.pool.run_task({"task": "request", "request": request},
+                                    timeout=self.task_timeout)
+        return result["response"]
+
+    def _run_matrix_job(self, request: Dict[str, object]
+                        ) -> Dict[str, object]:
+        from ..api.requests import SCHEMA_VERSION, MatrixResponse
+
+        started = time.perf_counter()
+        shards = shard_matrix(request)
+        results = self.pool.run_many(shards, timeout=self.task_timeout)
+        merged = merge_matrix(request, results)
+        response = {"kind": MatrixResponse.kind,
+                    "schema_version": SCHEMA_VERSION}
+        response.update(merged)
+        response["provenance"] = self._pool_provenance(
+            merged["engine"], merged["fidelity"], started)
+        return response
+
+    def _run_population_job(self, request: Dict[str, object]
+                            ) -> Dict[str, object]:
+        validate = bool(request.get("validate_population", True))
+        report_request = dict(request)
+        report_request["validate_population"] = False
+        tasks: List[Dict[str, object]] = []
+        if validate:
+            tasks.extend(shard_population(request, self.workers))
+        tasks.append({"task": "request", "request": report_request})
+        results = self.pool.run_many(tasks, timeout=self.task_timeout)
+        response = merge_population(results[-1]["response"], results[:-1],
+                                    validate)
+        return response

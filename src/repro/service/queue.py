@@ -1,0 +1,329 @@
+"""The durable job queue behind the service daemon.
+
+Jobs are the unit clients submit: one versioned request-JSON dict (the
+wire format of :mod:`repro.api.requests`) plus scheduling metadata.
+:class:`DurableQueue` keeps every job journaled on disk so a daemon
+crash or restart loses nothing:
+
+* ``jobs/<id>.json`` — one :class:`JobRecord` per job, rewritten
+  atomically (pid-unique temp file + ``os.replace``) on every state
+  transition, so the on-disk journal is always a complete, valid JSON
+  snapshot of the job;
+* ``results/<id>.json`` — the response JSON of a finished job, written
+  before the record flips to ``done`` so a ``done`` state always has a
+  fetchable result.
+
+States move ``queued → running → done|failed``, with ``cancelled``
+reachable from ``queued`` and ``running → queued`` on recovery (a job
+that was mid-flight when the daemon died is re-queued, its ``attempts``
+counter ticking so a poison job cannot crash-loop forever — after
+``max_attempts`` it lands in ``failed`` instead).  Scheduling is by
+``(priority desc, submission order asc)``.
+
+The queue is the daemon's private state machine; it is process-local
+(one daemon owns one queue root) but thread-safe, with a condition
+variable so job-runner threads block cheaply on :meth:`claim`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: version of the job-record wire/journal format; bump on breaking change.
+JOB_SCHEMA_VERSION = 1
+
+#: every state a job record can be in.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: states from which a job can never move again.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueueError(RuntimeError):
+    """An operation that the queue's state machine does not allow."""
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: the request plus its scheduling journal."""
+
+    id: str
+    request: Dict[str, object]
+    priority: int = 0
+    state: str = "queued"
+    seq: int = 0
+    attempts: int = 0
+    max_attempts: int = 3
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: id of the worker/runner that served (or last touched) the job.
+    worker: str = ""
+    error: Optional[str] = None
+    #: True when this record survived a daemon restart while running.
+    recovered: bool = False
+
+    @property
+    def kind(self) -> str:
+        return str(self.request.get("kind", ""))
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "kind": "job", "schema_version": JOB_SCHEMA_VERSION,
+        }
+        data.update(asdict(self))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobRecord":
+        payload = dict(data)
+        kind = payload.pop("kind", "job")
+        if kind != "job":
+            raise QueueError(f"not a job record: kind={kind!r}")
+        version = payload.pop("schema_version", JOB_SCHEMA_VERSION)
+        if not isinstance(version, int) or not 1 <= version <= JOB_SCHEMA_VERSION:
+            raise QueueError(
+                f"unsupported job schema_version {version!r} "
+                f"(this build understands 1..{JOB_SCHEMA_VERSION})")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        record = cls(**{k: v for k, v in payload.items() if k in known})
+        if record.state not in JOB_STATES:
+            raise QueueError(f"unknown job state {record.state!r}")
+        return record
+
+
+class DurableQueue:
+    """Crash-safe priority queue of request jobs, journaled under ``root``."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.results_dir = os.path.join(self.root, "results")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.results_dir, exist_ok=True)
+        self._records: Dict[str, JobRecord] = {}
+        #: (-priority, seq, id) min-heap of claimable jobs.
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self.recovered: List[str] = self._recover()
+
+    # ------------------------------------------------------------------
+    # Journal I/O.
+    # ------------------------------------------------------------------
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def _result_path(self, job_id: str) -> str:
+        return os.path.join(self.results_dir, f"{job_id}.json")
+
+    def _write_json(self, path: str, data: Dict[str, object]) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def _persist(self, record: JobRecord) -> None:
+        self._write_json(self._job_path(record.id), record.to_dict())
+
+    def _recover(self) -> List[str]:
+        """Load the journal; re-queue jobs that died mid-flight."""
+        recovered: List[str] = []
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = JobRecord.from_dict(json.load(handle))
+            except (OSError, ValueError, QueueError):
+                # A torn journal entry would mean os.replace failed
+                # atomicity; treat it as absent rather than poisoning
+                # startup.
+                continue
+            if record.state == "running":
+                record.state = "queued"
+                record.recovered = True
+                record.worker = ""
+                self._persist(record)
+                recovered.append(record.id)
+            self._records[record.id] = record
+            self._seq = max(self._seq, record.seq)
+            if record.state == "queued":
+                heapq.heappush(self._heap,
+                               (-record.priority, record.seq, record.id))
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Submission and claiming.
+    # ------------------------------------------------------------------
+    def submit(self, request: Mapping[str, object],
+               priority: int = 0, max_attempts: int = 3) -> JobRecord:
+        """Journal a new job; returns its record (state ``queued``)."""
+        with self._available:
+            self._seq += 1
+            record = JobRecord(
+                id=f"job-{self._seq:06d}", request=dict(request),
+                priority=int(priority), seq=self._seq,
+                max_attempts=max_attempts, submitted_at=time.time())
+            self._persist(record)
+            self._records[record.id] = record
+            heapq.heappush(self._heap,
+                           (-record.priority, record.seq, record.id))
+            self._available.notify()
+        return record
+
+    def claim(self, timeout: Optional[float] = None,
+              worker: str = "") -> Optional[JobRecord]:
+        """Pop the best queued job and mark it running; None on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            while True:
+                record = self._pop_queued()
+                if record is not None:
+                    record.state = "running"
+                    record.attempts += 1
+                    record.started_at = time.time()
+                    record.worker = worker
+                    self._persist(record)
+                    return record
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._available.wait(remaining)
+                else:
+                    self._available.wait()
+
+    def _pop_queued(self) -> Optional[JobRecord]:
+        # Caller holds the lock.  Entries for jobs that were cancelled
+        # (or re-pushed) while heaped are skipped lazily.
+        while self._heap:
+            _neg_priority, _seq, job_id = heapq.heappop(self._heap)
+            record = self._records.get(job_id)
+            if record is not None and record.state == "queued":
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Transitions.
+    # ------------------------------------------------------------------
+    def _require(self, job_id: str) -> JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        return record
+
+    def finish(self, job_id: str, response: Mapping[str, object]) -> JobRecord:
+        """Store the response, then flip the job to ``done``."""
+        with self._available:
+            record = self._require(job_id)
+            if record.state != "running":
+                raise QueueError(
+                    f"cannot finish job {job_id} in state {record.state!r}")
+            # Result first: a 'done' journal entry must always have a
+            # fetchable result, even if the daemon dies between writes.
+            self._write_json(self._result_path(job_id), dict(response))
+            record.state = "done"
+            record.finished_at = time.time()
+            record.error = None
+            self._persist(record)
+            return record
+
+    def fail(self, job_id: str, error: str) -> JobRecord:
+        """Flip a running job to ``failed`` (terminal)."""
+        with self._available:
+            record = self._require(job_id)
+            if record.state != "running":
+                raise QueueError(
+                    f"cannot fail job {job_id} in state {record.state!r}")
+            record.state = "failed"
+            record.finished_at = time.time()
+            record.error = error
+            self._persist(record)
+            return record
+
+    def requeue(self, job_id: str, error: str) -> JobRecord:
+        """Put a running job back in line (worker death, shutdown).
+
+        After ``max_attempts`` claims the job fails instead — a job that
+        kills every worker it touches must not crash-loop the fleet.
+        """
+        with self._available:
+            record = self._require(job_id)
+            if record.state != "running":
+                raise QueueError(
+                    f"cannot requeue job {job_id} in state {record.state!r}")
+            if record.attempts >= record.max_attempts:
+                record.state = "failed"
+                record.finished_at = time.time()
+                record.error = (f"gave up after {record.attempts} attempts; "
+                                f"last error: {error}")
+                self._persist(record)
+                return record
+            record.state = "queued"
+            record.worker = ""
+            record.error = error
+            self._persist(record)
+            heapq.heappush(self._heap,
+                           (-record.priority, record.seq, record.id))
+            self._available.notify()
+            return record
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; False once it is running or terminal."""
+        with self._available:
+            record = self._require(job_id)
+            if record.state != "queued":
+                return False
+            record.state = "cancelled"
+            record.finished_at = time.time()
+            self._persist(record)
+            return True
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._require(job_id)
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The stored response dict of a ``done`` job, else None."""
+        path = self._result_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def list(self, states: Optional[Sequence[str]] = None) -> List[JobRecord]:
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.seq)
+        if states is not None:
+            wanted = set(states)
+            records = [r for r in records if r.state in wanted]
+        return records
+
+    def snapshot(self) -> Dict[str, int]:
+        """Per-state job counts (the daemon's ``stats`` op)."""
+        counts = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for record in self._records.values():
+                counts[record.state] += 1
+        counts["total"] = len(self._records)
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._records)

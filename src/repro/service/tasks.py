@@ -1,0 +1,133 @@
+"""Sharding and merging of fan-out requests across the worker pool.
+
+The daemon never executes a fan-out request as one lump: it turns the
+request into *tasks* (small framed-JSON dicts a single worker can serve)
+and merges the task results back into the exact response a single
+in-process :meth:`repro.api.Session.execute` would have produced — the
+bit-identity contract of the whole service layer.
+
+* :class:`~repro.api.requests.MatrixRequest` shards **by machine**: the
+  N×M matrix iterates machines outer / sorted kernels inner, so one
+  task per machine, merged in request order, reproduces the row order
+  exactly.  Workers additionally memoize each (machine, kernel) cell in
+  the shared store under the :data:`CELL_STAGE` stage, so a repeated
+  matrix — the "8 concurrent clients, one warm daemon" load shape —
+  costs one store lookup per cell.
+* :class:`~repro.api.requests.ExploreRequest` is not sharded here at
+  all: the daemon runs the explorer's search loop itself and fans the
+  *design-point evaluations* out through
+  :class:`~repro.service.daemon.ShardedBatch` (an ``evaluate`` task per
+  point chunk), because search strategies are sequential but their
+  inner loop is embarrassingly parallel.
+* :class:`~repro.api.requests.PopulationRequest` shards its validation
+  pass round-robin over the (deterministically regenerated) population
+  — ``population_validate`` tasks — while the report phase runs as one
+  ``request`` task.
+
+Everything here is pure data-plumbing (no sockets, no threads), which
+is what makes the shard/merge contract unit-testable without a daemon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: shared-store stage under which workers memoize matrix cells.
+CELL_STAGE = "cell"
+
+#: bump when the cell recipe or payload layout changes incompatibly.
+CELL_SCHEMA = 1
+
+
+def canonical_machine(machine: object) -> str:
+    """Stable string form of a request machine reference."""
+    if isinstance(machine, Mapping):
+        return json.dumps(dict(machine), sort_keys=True)
+    return str(machine)
+
+
+def cell_key(machine: object, kernel: str, size: Optional[int],
+             seed: int, opt_level: int, engine: str, fidelity: str) -> str:
+    """Content key of one fully resolved (machine, kernel) matrix cell."""
+    recipe = (CELL_SCHEMA, canonical_machine(machine), kernel, size, seed,
+              opt_level, engine, fidelity)
+    return hashlib.sha256(repr(recipe).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Matrix.
+# ----------------------------------------------------------------------
+
+def shard_matrix(request: Mapping[str, object]) -> List[Dict[str, object]]:
+    """One ``matrix`` task per machine, preserving every other field."""
+    tasks = []
+    for machine in request["machines"]:
+        shard = dict(request)
+        shard["machines"] = [machine]
+        tasks.append({"task": "matrix", "request": shard})
+    return tasks
+
+
+def merge_matrix(request: Mapping[str, object],
+                 shards: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Merge per-machine shard results into MatrixResponse fields.
+
+    Each shard result carries ``machines`` (one resolved name),
+    ``kernels`` (sorted, identical across shards), ``engine``,
+    ``fidelity``, ``rows``, ``failures`` and ``correct`` (count).  Rows
+    concatenate in request-machine order, which is exactly the cell
+    order of a single-process ``run_matrix`` call.
+    """
+    machines: List[str] = []
+    rows: List[Dict[str, object]] = []
+    failures: List[Dict[str, object]] = []
+    correct = 0
+    for shard in shards:
+        machines.extend(shard["machines"])
+        rows.extend(shard["rows"])
+        failures.extend(shard["failures"])
+        correct += int(shard["correct"])
+    kernels = list(shards[0]["kernels"]) if shards else []
+    cells = len(rows)
+    return {
+        "machines": machines,
+        "kernels": kernels,
+        "engine": shards[0]["engine"] if shards else "",
+        "fidelity": shards[0]["fidelity"] if shards else "cycle",
+        "pass_rate": (correct / cells) if cells else 0.0,
+        "all_correct": bool(cells) and correct == cells,
+        "rows": rows,
+        "failures": failures,
+    }
+
+
+# ----------------------------------------------------------------------
+# Population.
+# ----------------------------------------------------------------------
+
+def shard_population(request: Mapping[str, object],
+                     shards: int) -> List[Dict[str, object]]:
+    """``population_validate`` tasks, round-robin over the population.
+
+    Generation is deterministic in (count, seed, families), so each
+    worker regenerates the same population locally and validates only
+    its ``index``-th slice — no kernel bytes cross the wire.
+    """
+    shards = max(1, shards)
+    return [
+        {"task": "population_validate", "request": dict(request),
+         "index": index, "shards": shards}
+        for index in range(shards)
+    ]
+
+
+def merge_population(report_response: Mapping[str, object],
+                     validations: Sequence[Mapping[str, object]],
+                     validate_requested: bool) -> Dict[str, object]:
+    """Fold sharded validation counts into the report task's response."""
+    response = dict(report_response)
+    if validate_requested:
+        response["valid"] = sum(int(v["valid"]) for v in validations)
+    return response

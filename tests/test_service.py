@@ -1,0 +1,673 @@
+"""The service layer: protocol, disk store, durable queue, daemon.
+
+Most end-to-end tests run the daemon with thread-mode workers speaking
+the full socket protocol in-process (fast, deterministic, visible to
+coverage); process-mode isolation and worker-kill fault injection get
+their own (slower) tests at the bottom.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.api.requests import (
+    MatrixRequest, Provenance, RunRequest, request_from_dict,
+)
+from repro.api.session import Session
+from repro.service import (
+    CELL_STAGE, DiskArtifactStore, DurableQueue, JobFailed, JobRecord,
+    QueueError, ServiceClient, ServiceDaemon, ServiceError, WorkerRuntime,
+    cell_key, merge_matrix, shard_matrix,
+)
+from repro.service import protocol
+from repro.service.client import reset_service_pipeline
+from repro.service.diskstore import QUARANTINE_DIR
+from repro.service.tasks import shard_population
+
+MACHINES = ["vliw4", "risc32"]
+KERNELS = ["crc32", "dot_product"]
+
+
+def _strip_provenance(response) -> dict:
+    data = response.to_dict()
+    data.pop("provenance")
+    return data
+
+
+# ----------------------------------------------------------------------
+# Framed protocol.
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+
+    def test_parse_endpoint_forms(self):
+        assert protocol.parse_endpoint("unix:/tmp/x.sock") == \
+            ("unix", "/tmp/x.sock")
+        assert protocol.parse_endpoint("/tmp/x.sock") == \
+            ("unix", "/tmp/x.sock")
+        assert protocol.parse_endpoint("tcp:127.0.0.1:901") == \
+            ("tcp", "127.0.0.1", 901)
+        assert protocol.parse_endpoint("tcp::901") == ("tcp", "127.0.0.1", 901)
+        with pytest.raises(ValueError):
+            protocol.parse_endpoint("tcp:nohost:noport")
+        with pytest.raises(ValueError):
+            protocol.parse_endpoint("unix:")
+
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "task", "payload": {"deep": [1, 2, {"x": "y"}]}}
+            protocol.send_frame(a, message)
+            assert protocol.recv_frame(b) == message
+            a.close()
+            assert protocol.recv_frame(b) is None  # clean EOF
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            protocol.send_frame(a, {"op": "x"})
+            # Second frame: header promises more bytes than ever arrive.
+            a.sendall(b"\x00\x00\x00\xff{half")
+            a.close()
+            assert protocol.recv_frame(b) == {"op": "x"}
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_dict_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = json.dumps([1, 2, 3]).encode()
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+# ----------------------------------------------------------------------
+# Cross-process disk store.
+# ----------------------------------------------------------------------
+
+class TestDiskStore:
+
+    def test_round_trip_across_instances(self, tmp_path):
+        writer = DiskArtifactStore(str(tmp_path / "store"))
+        writer.put("backend", "k1", {"code": [1, 2, 3]}, seconds=0.5)
+        reader = DiskArtifactStore(str(tmp_path / "store"))
+        artifact = reader.get("backend", "k1")
+        assert artifact is not None
+        assert artifact.payload == {"code": [1, 2, 3]}
+        assert artifact.seconds == 0.5
+        assert artifact.source == "disk"
+
+    def test_force_persist_shares_unmarked_stages(self, tmp_path):
+        # Parent ArtifactStore only persists stages that opt in; the
+        # service store shares everything.
+        store = DiskArtifactStore(str(tmp_path / "s"))
+        store.put("frontend", "k", "payload")  # persist not requested
+        fresh = DiskArtifactStore(str(tmp_path / "s"))
+        assert fresh.get("frontend", "k").payload == "payload"
+
+    def test_corruption_detected_and_quarantined(self, tmp_path):
+        store = DiskArtifactStore(str(tmp_path / "s"))
+        store.put("backend", "bad", [1, 2, 3])
+        path = store._disk_path("backend", "bad")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:  # flip bytes in the pickle body
+            handle.write(blob[:-3] + b"zzz")
+        fresh = DiskArtifactStore(str(tmp_path / "s"))
+        assert fresh.get("backend", "bad") is None
+        assert fresh.stats("backend").corrupt == 1
+        assert not os.path.exists(path)
+        quarantined = os.listdir(tmp_path / "s" / QUARANTINE_DIR)
+        assert quarantined == ["backend__bad.art"]
+        # A recompute can re-populate the slot afterwards.
+        fresh.put("backend", "bad", [1, 2, 3])
+        assert fresh.get("backend", "bad").payload == [1, 2, 3]
+
+    def test_truncation_detected(self, tmp_path):
+        store = DiskArtifactStore(str(tmp_path / "s"))
+        store.put("encode", "t", list(range(100)))
+        path = store._disk_path("encode", "t")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        fresh = DiskArtifactStore(str(tmp_path / "s"))
+        assert fresh.get("encode", "t") is None
+        assert fresh.stats("encode").corrupt == 1
+
+    def test_size_budget_evicts_lru(self, tmp_path):
+        store = DiskArtifactStore(str(tmp_path / "s"),
+                                  size_budget_bytes=2_000)
+        for index in range(10):
+            store.put("backend", f"k{index}", b"x" * 400)
+            time.sleep(0.01)  # distinct mtimes for LRU ordering
+        assert store.disk_bytes() <= 2_000
+        assert store.disk_len() < 10
+        evicted = sum(s.disk_evictions for s in store._stats.values())
+        assert evicted >= 1
+        # Newest entries survive; oldest were evicted.
+        fresh = DiskArtifactStore(str(tmp_path / "s"))
+        assert fresh.get("backend", "k9") is not None
+        assert fresh.get("backend", "k0") is None
+
+    def test_stats_dict_carries_new_counters(self, tmp_path):
+        store = DiskArtifactStore(str(tmp_path / "s"))
+        store.put("backend", "k", 1)
+        stats = store.stats_dict()["backend"]
+        assert "corrupt" in stats and "disk_evictions" in stats
+
+
+# ----------------------------------------------------------------------
+# Durable queue.
+# ----------------------------------------------------------------------
+
+class TestDurableQueue:
+
+    def test_submit_claim_finish_result(self, tmp_path):
+        queue = DurableQueue(str(tmp_path))
+        record = queue.submit({"kind": "run", "kernel": "crc32"})
+        assert record.state == "queued"
+        claimed = queue.claim(timeout=1.0, worker="t")
+        assert claimed.id == record.id
+        assert claimed.state == "running" and claimed.attempts == 1
+        queue.finish(record.id, {"kind": "run.response", "correct": True})
+        assert queue.get(record.id).state == "done"
+        assert queue.result(record.id)["correct"] is True
+
+    def test_priority_then_fifo(self, tmp_path):
+        queue = DurableQueue(str(tmp_path))
+        low = queue.submit({"kind": "a"}, priority=0)
+        high = queue.submit({"kind": "b"}, priority=5)
+        low2 = queue.submit({"kind": "c"}, priority=0)
+        order = [queue.claim(timeout=1.0).id for _ in range(3)]
+        assert order == [high.id, low.id, low2.id]
+
+    def test_claim_times_out_empty(self, tmp_path):
+        queue = DurableQueue(str(tmp_path))
+        assert queue.claim(timeout=0.05) is None
+
+    def test_cancel_only_queued(self, tmp_path):
+        queue = DurableQueue(str(tmp_path))
+        record = queue.submit({"kind": "a"})
+        assert queue.cancel(record.id) is True
+        assert queue.get(record.id).state == "cancelled"
+        running = queue.submit({"kind": "b"})
+        queue.claim(timeout=1.0)
+        assert queue.cancel(running.id) is False
+
+    def test_requeue_gives_up_after_max_attempts(self, tmp_path):
+        queue = DurableQueue(str(tmp_path))
+        record = queue.submit({"kind": "a"}, max_attempts=2)
+        for attempt in range(2):
+            claimed = queue.claim(timeout=1.0)
+            assert claimed.id == record.id
+            outcome = queue.requeue(record.id, f"death {attempt}")
+        assert outcome.state == "failed"
+        assert "gave up after 2 attempts" in outcome.error
+
+    def test_restart_recovers_running_and_keeps_done(self, tmp_path):
+        queue = DurableQueue(str(tmp_path))
+        done = queue.submit({"kind": "a"})
+        queue.claim(timeout=1.0)
+        queue.finish(done.id, {"kind": "a.response", "value": 7})
+        crashed = queue.submit({"kind": "b"})
+        queue.claim(timeout=1.0)  # daemon "dies" with this job running
+        still_queued = queue.submit({"kind": "c"})
+
+        reborn = DurableQueue(str(tmp_path))
+        assert reborn.recovered == [crashed.id]
+        revived = reborn.get(crashed.id)
+        assert revived.state == "queued" and revived.recovered
+        assert revived.attempts == 1 and revived.worker == ""
+        assert reborn.get(done.id).state == "done"
+        assert reborn.result(done.id)["value"] == 7
+        assert reborn.get(still_queued.id).state == "queued"
+        # Both pending jobs are claimable, in submission order.
+        assert {reborn.claim(timeout=1.0).id for _ in range(2)} == \
+            {crashed.id, still_queued.id}
+
+    def test_job_record_golden_round_trip(self, tmp_path):
+        record = JobRecord(id="job-000009", request={"kind": "matrix"},
+                           priority=3, state="running", seq=9, attempts=1,
+                           submitted_at=123.0, started_at=124.0,
+                           worker="daemon")
+        data = record.to_dict()
+        assert data["kind"] == "job" and data["schema_version"] == 1
+        assert JobRecord.from_dict(data) == record
+        # The journal and the status op emit the same shape.
+        queue = DurableQueue(str(tmp_path))
+        submitted = queue.submit({"kind": "run"})
+        journal = json.load(open(queue._job_path(submitted.id)))
+        assert JobRecord.from_dict(journal) == submitted
+
+    def test_job_record_rejects_bad_schema(self):
+        good = JobRecord(id="j", request={}).to_dict()
+        for corruption in ({"kind": "nope"}, {"schema_version": 99},
+                           {"state": "zombie"}):
+            with pytest.raises(QueueError):
+                JobRecord.from_dict({**good, **corruption})
+
+
+# ----------------------------------------------------------------------
+# Shard/merge rules and the worker runtime.
+# ----------------------------------------------------------------------
+
+class TestTasksAndWorker:
+
+    def test_shard_matrix_one_task_per_machine(self):
+        request = MatrixRequest(machines=MACHINES, kernels=KERNELS).to_dict()
+        tasks = shard_matrix(request)
+        assert [t["request"]["machines"] for t in tasks] == \
+            [["vliw4"], ["risc32"]]
+        assert all(t["task"] == "matrix" for t in tasks)
+
+    def test_merge_matrix_reproduces_single_process_fields(self):
+        shards = [
+            {"machines": ["m1"], "kernels": ["a", "b"], "engine": "interpreter",
+             "fidelity": "cycle", "rows": [{"kernel": "a"}, {"kernel": "b"}],
+             "failures": [], "correct": 2},
+            {"machines": ["m2"], "kernels": ["a", "b"], "engine": "interpreter",
+             "fidelity": "cycle", "rows": [{"kernel": "a"}, {"kernel": "b"}],
+             "failures": [{"machine": "m2", "kernel": "b", "error": "x"}],
+             "correct": 1},
+        ]
+        merged = merge_matrix({}, shards)
+        assert merged["machines"] == ["m1", "m2"]
+        assert merged["pass_rate"] == 3 / 4
+        assert merged["all_correct"] is False
+        assert len(merged["rows"]) == 4
+
+    def test_shard_population_covers_population(self):
+        tasks = shard_population({"count": 10}, 3)
+        indices = {(t["index"], t["shards"]) for t in tasks}
+        assert indices == {(0, 3), (1, 3), (2, 3)}
+        covered = sorted(i for t in tasks
+                         for i in range(t["index"], 10, t["shards"]))
+        assert covered == list(range(10))
+
+    def test_cell_key_distinguishes_recipe(self):
+        base = cell_key("vliw4", "crc32", None, 1234, 2, "interpreter",
+                        "cycle")
+        assert base == cell_key("vliw4", "crc32", None, 1234, 2,
+                                "interpreter", "cycle")
+        assert base != cell_key("vliw4", "crc32", 64, 1234, 2,
+                                "interpreter", "cycle")
+        assert base != cell_key("risc32", "crc32", None, 1234, 2,
+                                "interpreter", "cycle")
+
+    def test_worker_matrix_memoizes_cells(self, tmp_path):
+        runtime = WorkerRuntime(DiskArtifactStore(str(tmp_path / "s")),
+                                worker_id="t1")
+        task = {"task": "matrix",
+                "request": MatrixRequest(machines=["vliw4"],
+                                         kernels=KERNELS).to_dict()}
+        cold = runtime.execute(task)
+        assert cold["correct"] == len(KERNELS)
+        misses = runtime.store.stats(CELL_STAGE).misses
+        warm = runtime.execute(task)
+        assert warm["rows"] == cold["rows"]
+        assert runtime.store.stats(CELL_STAGE).misses == misses
+        assert runtime.store.stats(CELL_STAGE).hits >= len(KERNELS)
+
+    def test_worker_evaluate_restores_spec_weights(self, tmp_path):
+        # Weights travel as JSON lists; the worker must restore the
+        # tuple shape or its store keys diverge from the daemon's.
+        from repro.dse.space import DesignSpace
+        from repro.exec.batch import BatchEvaluator
+
+        store = DiskArtifactStore(str(tmp_path / "s"))
+        runtime = WorkerRuntime(store, worker_id="t2")
+        session = Session(name="keycheck", store=store)
+        evaluator = session.evaluator("medical", size=8)
+        batch = BatchEvaluator(evaluator, store=store)
+        points = list(DesignSpace(
+            issue_widths=(2,), register_counts=(32, 64),
+            cluster_counts=(1,), mul_unit_counts=(1,),
+            mem_unit_counts=(1,)).points())
+        spec = json.loads(json.dumps({
+            "mix_name": batch.spec.mix_name,
+            "weights": [list(p) for p in batch.spec.weights],
+            "size": batch.spec.size, "opt_level": batch.spec.opt_level,
+            "seed": batch.spec.seed, "engine": batch.spec.engine,
+            "fidelity": batch.spec.fidelity,
+        }))
+        result = runtime.execute({
+            "task": "evaluate", "spec": spec,
+            "points": [json.loads(json.dumps(p.__dict__)) for p in points]})
+        assert result["keys"] == [batch.point_key(p) for p in points]
+        for key in result["keys"]:
+            assert store.get("evaluation", key) is not None
+
+    def test_worker_unknown_task_rejected(self, tmp_path):
+        runtime = WorkerRuntime(DiskArtifactStore(str(tmp_path / "s")))
+        with pytest.raises(ValueError):
+            runtime.execute({"task": "frobnicate"})
+
+
+# ----------------------------------------------------------------------
+# Daemon end-to-end (thread-mode workers, full socket protocol).
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def thread_daemon(tmp_path_factory):
+    root = tmp_path_factory.mktemp("svc-daemon")
+    daemon = ServiceDaemon(str(root), workers=2, worker_mode="thread",
+                           name="test-daemon", task_timeout=120.0)
+    with daemon:
+        yield daemon
+
+
+@pytest.fixture()
+def client(thread_daemon):
+    with ServiceClient(thread_daemon.endpoint) as session_client:
+        yield session_client
+
+
+class TestDaemon:
+
+    def test_ping_and_describe(self, client, thread_daemon):
+        assert client.ping() is True
+        info = client.describe()
+        assert info["store_dir"] == thread_daemon.store_dir
+        assert info["worker_mode"] == "thread"
+
+    def test_matrix_bit_identical_to_session(self, client):
+        request = MatrixRequest(machines=MACHINES, kernels=KERNELS)
+        remote = client.execute(request, timeout=120)
+        with Session(name="oracle") as session:
+            local = session.execute(request)
+        assert _strip_provenance(remote) == _strip_provenance(local)
+        assert remote.provenance.worker  # served by the pool
+
+    def test_run_request_carries_worker_provenance(self, client):
+        response = client.execute(
+            RunRequest(kernel="popcount_buffer", machine="vliw4",
+                       engine="cycle"), timeout=120)
+        assert response.correct
+        assert response.provenance.worker.startswith("w")
+
+    def test_submit_status_result_lifecycle(self, client):
+        handle = client.submit(MatrixRequest(machines=["vliw4"],
+                                             kernels=["crc32"]))
+        response = handle.result(timeout=120)
+        assert response.all_correct
+        record = client.status(handle.id)
+        assert record["state"] == "done" and record["attempts"] == 1
+
+    def test_failing_job_raises_job_failed(self, client):
+        handle = client.submit(RunRequest(kernel="no_such_kernel",
+                                          machine="vliw4", engine="cycle"))
+        with pytest.raises(JobFailed) as excinfo:
+            handle.result(timeout=120)
+        assert excinfo.value.record["state"] == "failed"
+        assert "no_such_kernel" in str(excinfo.value)
+
+    def test_submit_rejects_malformed_request(self, client):
+        with pytest.raises(ServiceError):
+            client.submit({"kind": "not-a-kind"})
+
+    def test_cancel_before_run(self, thread_daemon):
+        # Submit directly to the queue so no job runner grabs it first.
+        record = thread_daemon.queue.submit(
+            MatrixRequest(machines=["vliw4"]).to_dict(), priority=-100)
+        with ServiceClient(thread_daemon.endpoint) as cancel_client:
+            # Either we cancel it in time, or a runner already claimed
+            # it; both are legal daemon behaviours — assert consistency.
+            cancelled = cancel_client.cancel(record.id)
+            state = cancel_client.status(record.id)["state"]
+        if cancelled:
+            assert state == "cancelled"
+        else:
+            assert state in ("running", "done")
+
+    def test_concurrent_clients_share_warm_store(self, thread_daemon):
+        request = MatrixRequest(machines=MACHINES, kernels=KERNELS)
+        cells = len(MACHINES) * len(KERNELS)
+        with ServiceClient(thread_daemon.endpoint) as warm:
+            warm.execute(request, timeout=120)  # warm every cell
+
+        def hits_and_misses():
+            stats = thread_daemon.pool.worker_stats
+            cell = [s.get(CELL_STAGE, {}) for s in stats.values()]
+            return (sum(c.get("hits", 0) for c in cell),
+                    sum(c.get("misses", 0) for c in cell))
+
+        hits_before, misses_before = hits_and_misses()
+        responses = [None] * 4
+        def run(index):
+            with ServiceClient(thread_daemon.endpoint) as c:
+                responses[index] = c.execute(request, timeout=120)
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r is not None and r.all_correct for r in responses)
+        first = _strip_provenance(responses[0])
+        assert all(_strip_provenance(r) == first for r in responses[1:])
+        hits, misses = hits_and_misses()
+        new_hits = hits - hits_before
+        new_misses = misses - misses_before
+        total = new_hits + new_misses
+        assert total >= 4 * cells
+        assert new_hits / total >= 0.9, (
+            f"warm hit rate {new_hits}/{total} below 90%")
+
+    def test_stats_surface(self, client):
+        stats = client.stats()
+        assert stats["queue"]["total"] >= 1
+        assert stats["store"]["entries"] > 0
+        assert stats["workers"]  # per-worker store counters
+
+
+# ----------------------------------------------------------------------
+# Durability through a daemon restart.
+# ----------------------------------------------------------------------
+
+class TestDaemonRestart:
+
+    def test_restart_recovers_queue_and_results(self, tmp_path):
+        root = str(tmp_path / "svc")
+        request = MatrixRequest(machines=["vliw4"],
+                                kernels=["crc32"]).to_dict()
+        # Simulate a daemon that died with one job running and one
+        # queued: seed the journal directly.
+        queue = DurableQueue(os.path.join(root, "queue"))
+        crashed = queue.submit(request)
+        queue.claim(timeout=1.0, worker="dead-daemon")
+        queued = queue.submit(request)
+        del queue
+
+        daemon = ServiceDaemon(root, workers=0, name="reborn")
+        assert daemon.queue.recovered == [crashed.id]
+        with daemon:
+            with ServiceClient(daemon.endpoint) as restart_client:
+                first = restart_client.result(crashed.id, timeout=120)
+                second = restart_client.result(queued.id, timeout=120)
+                assert first.all_correct and second.all_correct
+                record = restart_client.status(crashed.id)
+                assert record["recovered"] is True
+
+        # A second restart still serves the stored results.
+        daemon2 = ServiceDaemon(root, workers=0, name="reborn2")
+        with daemon2:
+            with ServiceClient(daemon2.endpoint) as again:
+                assert again.result(crashed.id, timeout=10).all_correct
+                assert again.status(queued.id)["state"] == "done"
+
+    def test_corrupt_store_entry_recomputed_end_to_end(self, tmp_path):
+        root = str(tmp_path / "svc")
+        request = MatrixRequest(machines=["vliw4"], kernels=["crc32"])
+        with ServiceDaemon(root, workers=1, worker_mode="thread",
+                           name="corruptd") as daemon:
+            with ServiceClient(daemon.endpoint) as c:
+                baseline = c.execute(request, timeout=120)
+        # Corrupt every memoized matrix cell on disk, then restart so
+        # the fresh worker must consult the (now-corrupt) disk layer.
+        cell_dir = os.path.join(daemon.store_dir, CELL_STAGE)
+        for name in os.listdir(cell_dir):
+            path = os.path.join(cell_dir, name)
+            blob = open(path, "rb").read()
+            open(path, "wb").write(blob[:len(blob) // 2])
+        with ServiceDaemon(root, workers=1, worker_mode="thread",
+                           name="corruptd2") as daemon2:
+            with ServiceClient(daemon2.endpoint) as c:
+                again = c.execute(request, timeout=120)
+        assert _strip_provenance(again) == _strip_provenance(baseline)
+        quarantine = os.path.join(daemon.store_dir, QUARANTINE_DIR)
+        # Detected, quarantined for post-mortem, recomputed.
+        assert any(name.startswith(CELL_STAGE + "__")
+                   for name in os.listdir(quarantine))
+
+
+# ----------------------------------------------------------------------
+# The deprecation shims route through a configured daemon.
+# ----------------------------------------------------------------------
+
+class TestShimRouting:
+
+    def test_global_pipeline_uses_daemon_store(self, tmp_path, monkeypatch):
+        from repro.pipeline.compile import (
+            global_compile_pipeline, reset_global_compile_pipeline,
+        )
+        from repro.workloads.kernels import get_kernel
+
+        with ServiceDaemon(str(tmp_path / "svc"), workers=0,
+                           name="shimd") as daemon:
+            monkeypatch.setenv("REPRO_SERVICE_SOCKET", daemon.endpoint)
+            reset_service_pipeline()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                pipeline = global_compile_pipeline()
+            assert isinstance(pipeline.store, DiskArtifactStore)
+            assert pipeline.store.root == daemon.store_dir
+            kernel = get_kernel("crc32")
+            pipeline.front(kernel.source, kernel.name)
+            # Round trip: artifacts written through the shim are visible
+            # to the daemon's own store handle.
+            assert daemon.store.disk_len() > 0
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                reset_global_compile_pipeline()
+
+        monkeypatch.delenv("REPRO_SERVICE_SOCKET")
+        reset_service_pipeline()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            fallback = global_compile_pipeline()
+        assert not isinstance(fallback.store, DiskArtifactStore)
+
+    def test_unreachable_daemon_falls_back(self, tmp_path, monkeypatch):
+        from repro.pipeline.compile import global_compile_pipeline
+
+        monkeypatch.setenv("REPRO_SERVICE_SOCKET",
+                           "unix:" + str(tmp_path / "nobody-home.sock"))
+        reset_service_pipeline()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            pipeline = global_compile_pipeline()
+        assert not isinstance(pipeline.store, DiskArtifactStore)
+        reset_service_pipeline()
+
+
+# ----------------------------------------------------------------------
+# Provenance schema.
+# ----------------------------------------------------------------------
+
+class TestProvenanceWorker:
+
+    def test_provenance_round_trips_worker(self):
+        provenance = Provenance(session="s", engine="cycle", worker="w7",
+                                elapsed_s=0.5)
+        data = provenance.to_dict()
+        assert data["worker"] == "w7"
+        assert Provenance.from_dict(data) == provenance
+
+    def test_old_provenance_dicts_still_parse(self):
+        data = Provenance(session="s").to_dict()
+        data.pop("worker")  # a pre-service response JSON
+        parsed = Provenance.from_dict(data)
+        assert parsed.worker == ""
+
+    def test_request_json_round_trip_unchanged(self):
+        request = MatrixRequest(machines=MACHINES, kernels=KERNELS)
+        assert request_from_dict(request.to_dict()) == request
+
+
+# ----------------------------------------------------------------------
+# Process-mode isolation and fault injection (slower).
+# ----------------------------------------------------------------------
+
+def _wait_for(predicate, timeout_s: float, message: str) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(message)
+
+
+class TestProcessWorkers:
+
+    def test_kill_worker_mid_job_retries_bit_identically(self, tmp_path):
+        import signal
+
+        request = MatrixRequest(machines=["vliw4"], kernels=["crc32"])
+        with Session(name="oracle") as session:
+            local = session.execute(request)
+        daemon = ServiceDaemon(
+            str(tmp_path / "svc"), workers=2, worker_mode="process",
+            name="faulty", heartbeat_timeout=10.0, task_timeout=120.0,
+            # Give the test a deterministic window in which the worker
+            # is provably mid-task.
+            worker_env={"REPRO_SERVICE_TASK_DELAY_S": "2.0"})
+        with daemon:
+            _wait_for(lambda: len(daemon.pool.live_ids()) == 2, 30.0,
+                      "workers never connected")
+            with ServiceClient(daemon.endpoint) as fault_client:
+                handle = fault_client.submit(request)
+
+                def busy_worker():
+                    with daemon.pool._cv:
+                        busy = [l.worker_id
+                                for l in daemon.pool._links.values()
+                                if l.busy is not None]
+                    return busy[0] if busy else None
+
+                _wait_for(lambda: busy_worker() is not None, 30.0,
+                          "no worker ever went busy")
+                victim = busy_worker()
+                daemon._procs[victim].send_signal(signal.SIGKILL)
+
+                remote = handle.result(timeout=120)
+                record = fault_client.status(handle.id)
+        # Zero jobs lost: the task was re-queued and completed with
+        # results bit-identical to the single-process run.
+        assert record["state"] == "done"
+        assert _strip_provenance(remote) == _strip_provenance(local)
+        # A replacement worker was spawned for the killed one.
+        assert victim not in daemon.pool.worker_stats or \
+            len(set(daemon.pool.worker_stats)) >= 2
