@@ -16,9 +16,9 @@ the same request, and the fleet-wide cell hit rate stays above the
 ISSUE-6 floor (≥90%, ``E13_MIN_HIT_RATE`` to override).  Results go to
 ``BENCH_service_load.json`` at the repository root.
 
-Scale knobs (CI smoke shrinks these; defaults exercise hundreds of
-requests): ``E13_CLIENTS``, ``E13_REQUESTS_PER_CLIENT``,
-``E13_WORKERS``, ``E13_WORKER_MODE``.
+Scale follows the shared ``--shrink`` flag (the full shape exercises
+hundreds of requests); ``E13_CLIENTS``, ``E13_REQUESTS_PER_CLIENT``,
+``E13_WORKERS`` and ``E13_WORKER_MODE`` still pin individual knobs.
 """
 
 from __future__ import annotations
@@ -34,18 +34,13 @@ from repro.api import Session
 from repro.api.requests import MatrixRequest, RunRequest
 from repro.service import CELL_STAGE, ServiceClient, ServiceDaemon
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, shrink_knob
 
 #: the E5 validation-matrix shape: 6 machines x 7 kernels = 42 cells.
 MACHINES = ["risc32", "vliw2", "vliw4", "vliw8", "vliw4c2", "dsp16"]
 KERNELS = ["dot_product", "saturated_add", "viterbi_acs", "sad16",
            "rgb_to_gray", "ip_checksum", "histogram"]
 SIZE = 24
-
-CLIENTS = int(os.environ.get("E13_CLIENTS", 8))
-REQUESTS_PER_CLIENT = int(os.environ.get("E13_REQUESTS_PER_CLIENT", 25))
-WORKERS = int(os.environ.get("E13_WORKERS", 4))
-WORKER_MODE = os.environ.get("E13_WORKER_MODE", "thread")
 
 #: acceptance floor for the fleet-wide warm cell hit rate (ISSUE 6).
 MIN_HIT_RATE = 0.90
@@ -57,10 +52,10 @@ def _full_matrix() -> MatrixRequest:
     return MatrixRequest(machines=MACHINES, kernels=KERNELS, size=SIZE)
 
 
-def _request_stream(client_index: int):
+def _request_stream(client_index: int, requests_per_client: int):
     """One client's mixed request list (deterministic per client)."""
     requests = []
-    for index in range(REQUESTS_PER_CLIENT):
+    for index in range(requests_per_client):
         slot = (client_index + index) % 5
         if slot == 0:
             requests.append(RunRequest(
@@ -91,13 +86,20 @@ def _cell_economics(stats):
     return hits, misses
 
 
-def test_e13_service_load(benchmark, tmp_path):
+def test_e13_service_load(benchmark, tmp_path, pytestconfig):
+    clients = shrink_knob(pytestconfig, "E13_CLIENTS", 8, 4)
+    requests_per_client = shrink_knob(
+        pytestconfig, "E13_REQUESTS_PER_CLIENT", 25, 6)
+    workers = shrink_knob(pytestconfig, "E13_WORKERS", 4, 2)
+    worker_mode = shrink_knob(pytestconfig, "E13_WORKER_MODE",
+                              "thread", "thread", cast=str)
+
     with Session(name="bench-e13-oracle") as oracle_session:
         oracle = oracle_session.execute(_full_matrix()).to_dict()
     oracle.pop("provenance")
 
-    daemon = ServiceDaemon(str(tmp_path / "svc"), workers=WORKERS,
-                           worker_mode=WORKER_MODE, name="bench-e13",
+    daemon = ServiceDaemon(str(tmp_path / "svc"), workers=workers,
+                           worker_mode=worker_mode, name="bench-e13",
                            task_timeout=600.0)
     with daemon:
         with ServiceClient(daemon.endpoint) as warm:
@@ -111,14 +113,15 @@ def test_e13_service_load(benchmark, tmp_path):
             # applies to the concurrent phase against the warm store.
             warm_hits, warm_misses = _cell_economics(warm.stats())
 
-        latencies = [[] for _ in range(CLIENTS)]
-        matrix_responses = [[] for _ in range(CLIENTS)]
+        latencies = [[] for _ in range(clients)]
+        matrix_responses = [[] for _ in range(clients)]
         errors = []
 
         def drive(client_index: int) -> None:
             try:
                 with ServiceClient(daemon.endpoint) as client:
-                    for request in _request_stream(client_index):
+                    for request in _request_stream(client_index,
+                                                   requests_per_client):
                         start = time.perf_counter()
                         response = client.execute(request, timeout=600)
                         latencies[client_index].append(
@@ -133,7 +136,7 @@ def test_e13_service_load(benchmark, tmp_path):
         def experiment():
             threads = [threading.Thread(target=drive, args=(index,),
                                         name=f"e13-client-{index}")
-                       for index in range(CLIENTS)]
+                       for index in range(clients)]
             start = time.perf_counter()
             for thread in threads:
                 thread.start()
@@ -149,7 +152,7 @@ def test_e13_service_load(benchmark, tmp_path):
     assert not errors, errors
     flat = [sample for per_client in latencies for sample in per_client]
     total_requests = len(flat)
-    assert total_requests == CLIENTS * REQUESTS_PER_CLIENT
+    assert total_requests == clients * requests_per_client
 
     p50 = _percentile(flat, 0.50)
     p99 = _percentile(flat, 0.99)
@@ -167,7 +170,7 @@ def test_e13_service_load(benchmark, tmp_path):
     matrix_count = sum(len(per_client) for per_client in matrix_responses)
 
     print_table("E13: service load summary", [{
-        "clients": CLIENTS,
+        "clients": clients,
         "requests": total_requests,
         "wall_s": round(wall_seconds, 2),
         "rps": round(throughput, 1),
@@ -175,9 +178,9 @@ def test_e13_service_load(benchmark, tmp_path):
         "p99_ms": round(p99 * 1e3, 1),
         "cell_hit%": round(100 * hit_rate, 1),
     }])
-    print(f"\nE13 summary: {total_requests} mixed requests from {CLIENTS} "
-          f"concurrent clients against one warm daemon ({WORKERS} "
-          f"{WORKER_MODE} workers): {throughput:.1f} req/s, p50 "
+    print(f"\nE13 summary: {total_requests} mixed requests from {clients} "
+          f"concurrent clients against one warm daemon ({workers} "
+          f"{worker_mode} workers): {throughput:.1f} req/s, p50 "
           f"{p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms; cold 42-cell "
           f"matrix {warm_seconds:.2f} s; fleet cell-memo hit rate "
           f"{100 * hit_rate:.1f}% ({hits} hits / {misses} misses); "
@@ -187,10 +190,10 @@ def test_e13_service_load(benchmark, tmp_path):
     OUTPUT.write_text(json.dumps({
         "experiment": "e13_service_load",
         "python": platform.python_version(),
-        "clients": CLIENTS,
-        "requests_per_client": REQUESTS_PER_CLIENT,
-        "workers": WORKERS,
-        "worker_mode": WORKER_MODE,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "workers": workers,
+        "worker_mode": worker_mode,
         "matrix_cells": len(MACHINES) * len(KERNELS),
         "requests": total_requests,
         "warm_matrix_seconds": round(warm_seconds, 4),

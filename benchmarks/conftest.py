@@ -6,10 +6,18 @@ round — the interesting output is the table, not the wall-clock of the
 harness itself) and prints the rows in a fixed-width format so that
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the experiment
 tables directly.
+
+Scale control is shared: ``pytest benchmarks/ --shrink`` runs every
+benchmark at its CI smoke size (the option is declared in the repository
+root conftest); :func:`shrink_knob` resolves one scale knob with the
+precedence *env var override > --shrink smoke value > full value*, so
+one flag shrinks the whole suite while a named variable can still pin a
+single knob.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Sequence
 
 import pytest
@@ -22,6 +30,25 @@ def _clean_library():
     reset_global_library()
     yield
     reset_global_library()
+
+
+def shrink_knob(config, name: str, full, smoke, cast=int):
+    """Resolve one benchmark scale knob.
+
+    ``name`` is an environment variable that always wins (CI pinning a
+    single knob); otherwise ``--shrink`` selects ``smoke`` and a normal
+    run gets ``full``.
+    """
+    value = os.environ.get(name)
+    if value is not None and value != "":
+        return cast(value)
+    return smoke if config.getoption("--shrink") else full
+
+
+@pytest.fixture
+def shrunk(pytestconfig) -> bool:
+    """True when the suite runs at CI smoke scale (``--shrink``)."""
+    return bool(pytestconfig.getoption("--shrink"))
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:

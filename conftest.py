@@ -1,0 +1,15 @@
+"""Root conftest: command-line options shared by tests/ and benchmarks/.
+
+``pytest_addoption`` must live in an *initial* conftest (one pytest
+loads before parsing the command line), which for a bare ``pytest`` run
+from the repository root is this file — ``benchmarks/conftest.py`` is
+discovered too late.  The option itself is consumed by the benchmark
+suite's shared :func:`benchmarks.conftest.shrink_knob` helper.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shrink", action="store_true", default=False,
+        help="benchmark smoke scale: shrink experiment workloads to the "
+             "CI sizes (per-knob env vars still override)")

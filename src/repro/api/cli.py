@@ -109,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default="cycle", choices=RUN_ENGINES)
     run_p.add_argument("--size", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--batch", type=int, default=None,
+                       help="run N argument sets through the batch "
+                            "cascade (functional engines only)")
     _add_common(run_p)
 
     customize_p = commands.add_parser(
@@ -256,7 +259,8 @@ def _build_request(args: argparse.Namespace):
     if args.command == "run":
         return RunRequest(kernel=args.kernel, machine=args.machine,
                           size=args.size, seed=args.seed,
-                          opt_level=args.opt_level, engine=args.engine)
+                          opt_level=args.opt_level, engine=args.engine,
+                          batch=args.batch)
     if args.command == "customize":
         return CustomizeRequest(kernel=args.kernel, machine=args.machine,
                                 area_budget_kgates=args.budget,

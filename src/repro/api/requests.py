@@ -287,14 +287,26 @@ class RunRequest(Message):
     seed: Optional[int] = None
     opt_level: Optional[int] = None
     #: "cycle" (cycle-accurate, the default) or a functional engine
-    #: ("interpreter" / "compiled": value + instruction counts only).
+    #: ("interpreter" / "compiled" / "native": value + instruction
+    #: counts only).
     engine: str = "cycle"
+    #: run the kernel over N argument sets (seeds ``seed..seed+N-1``)
+    #: through the :func:`repro.exec.run_batch` cascade instead of one
+    #: oracle-checked execution; functional engines only.
+    batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.kernel:
             raise ValueError("RunRequest needs a kernel name")
         _check_machine(self.machine)
         _check_engine(self.engine, RUN_ENGINES, "run")
+        if self.batch is not None:
+            if self.batch < 1:
+                raise ValueError("RunRequest batch must be at least 1")
+            if self.engine == "cycle":
+                raise ValueError(
+                    "batched runs use the functional engines; pass "
+                    f"engine= one of {', '.join(FUNCTIONAL_ENGINES)}")
 
 
 @_register_request
@@ -478,6 +490,12 @@ class RunResponse(Message):
     energy_uj: float = 0.0
     ipc: float = 0.0
     instructions: int = 0
+    #: batched runs: how many argument sets ran (0 = single run), which
+    #: tier of the run_batch cascade actually executed them ("native",
+    #: "vector", "compiled" or "interpreter"), and the per-set values.
+    batch: int = 0
+    batch_engine: str = ""
+    values: List[object] = field(default_factory=list)
     provenance: Optional[Provenance] = None
 
 

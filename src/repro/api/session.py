@@ -34,12 +34,14 @@ injected, exactly as they used to fall back to the (now deprecated)
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..exec.cache import CodeCache
 from ..exec.registry import validate_engine
 from ..pipeline.compile import CompilePipeline
 from ..pipeline.store import ArtifactStore
@@ -69,12 +71,17 @@ class Session:
                  pipeline: Optional[CompilePipeline] = None,
                  store: Optional[ArtifactStore] = None,
                  cache_dir: Optional[str] = None,
-                 engine: str = "interpreter",
+                 engine: Optional[str] = None,
                  evaluation_engine: str = "cycle",
                  fidelity: str = "cycle",
                  opt_level: int = 2, unroll_factor: int = 4,
                  seed: int = 1234, size: Optional[int] = None,
                  workers: int = 0) -> None:
+        if engine is None:
+            # The env var lets compiler-equipped hosts opt whole script
+            # runs and service daemons into the native tier without
+            # touching call sites; see the README engine matrix.
+            engine = os.environ.get("REPRO_ENGINE") or "interpreter"
         validate_engine(engine, "functional")
         validate_engine(evaluation_engine, "evaluation")
         validate_engine(fidelity, "fidelity")
@@ -89,6 +96,9 @@ class Session:
                 cache_dir=cache_dir)
             self.pipeline = CompilePipeline(store)
         self.store = self.pipeline.store
+        #: session-scoped threaded-code cache, bound to the store so its
+        #: eviction pressure shows up in the per-stage stats tables.
+        self.code_cache = CodeCache(store=self.store)
         self.name = name or f"session-{next(_SESSION_COUNTER)}"
         #: default functional engine (run_reference, matrix cross-checks).
         self.engine = engine
@@ -312,7 +322,33 @@ class Session:
         module, records = self.pipeline.front(
             kernel.source, kernel.name, opt_level=opt_level,
             unroll_factor=self.unroll_factor)
-        simulator = make_functional_simulator(module, engine=request.engine)
+
+        if request.batch:
+            from ..exec.vector import run_batch
+
+            seed = self._seed(request.seed)
+            size = self._size(request.size)
+            arg_sets = [kernel.arguments(size, seed=seed + lane)
+                        for lane in range(request.batch)]
+            expected_values = [kernel.expected(arg_set)
+                               for arg_set in arg_sets]
+            result = run_batch(
+                module, kernel.entry,
+                [_run_args(arg_set) for arg_set in arg_sets],
+                engine=request.engine, store=self.store)
+            return RunResponse(
+                kernel=kernel.name, machine=machine.name,
+                engine=request.engine,
+                correct=result.values == expected_values,
+                value=result.values[0], expected=expected_values[0],
+                instructions=sum(result.instructions),
+                batch=request.batch, batch_engine=result.engine_used,
+                values=result.values,
+                provenance=self._provenance(request.engine, started, records))
+
+        simulator = make_functional_simulator(
+            module, engine=request.engine, cache=self.code_cache,
+            store=self.store)
         value = simulator.run(kernel.entry, *_run_args(args))
         return RunResponse(
             kernel=kernel.name, machine=machine.name, engine=request.engine,

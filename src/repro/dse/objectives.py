@@ -19,6 +19,10 @@ Two measurement engines are available (``engine=``):
   simulator except for cache-stall modelling (no i/d-cache stalls and no
   cache access energy) and is several times faster — the screening mode
   for large design-space sweeps.
+* ``"native"`` — same static timing reduction, but the kernel executes
+  on the generated-C engine (:class:`repro.exec.NativeSimulator`, ``.so``
+  artifacts shared through the pipeline store); degrades to
+  ``"compiled"`` with one warning when no C compiler is available.
 
 Orthogonally, ``fidelity=`` selects the timing model itself:
 
@@ -45,7 +49,6 @@ from ..core.identification import EnumerationConfig
 from ..core.library import ExtensionLibrary
 from ..core.selection import SelectionConfig
 from ..backend.mcode import CompiledModule
-from ..exec.engine import CompiledSimulator
 from ..exec.registry import EVALUATION_ENGINES, validate_engine
 from ..pipeline import CompilePipeline
 from ..sim.cycle import CycleSimulator
@@ -236,7 +239,7 @@ class Evaluator:
                         measurement = self._measure_trace(
                             kernel, weight, module, compiled, working_machine,
                             args, expected, code_bytes)
-                    elif self.engine == "compiled":
+                    elif self.engine in ("compiled", "native"):
                         measurement = self._measure_compiled(
                             kernel, weight, module, compiled, working_machine,
                             run_args, expected, code_bytes)
@@ -281,13 +284,16 @@ class Evaluator:
         )
 
     # ------------------------------------------------------------------
-    # Compiled (screening) engine: functional execution + static timing.
+    # Functional screening engines: fast execution + static timing.
     # ------------------------------------------------------------------
     def _measure_compiled(self, kernel: Kernel, weight: float, module,
                           compiled: CompiledModule, machine: MachineDescription,
                           run_args: tuple, expected, code_bytes: int
                           ) -> KernelMeasurement:
-        simulator = CompiledSimulator(module)
+        from ..exec.engine import make_functional_simulator
+
+        simulator = make_functional_simulator(
+            module, engine=self.engine, store=self.pipeline.store)
         value = simulator.run(kernel.entry, *run_args)
         cycles, energy_uj, ipc = reduce_schedule_timing(
             compiled, machine, simulator.profile)

@@ -1,4 +1,4 @@
-"""Compiled execution: threaded-code translation, code caching, batching.
+"""Compiled execution: threaded code, generated C, batching, caching.
 
 This package is the performance tier of the simulation stack:
 
@@ -6,6 +6,12 @@ This package is the performance tier of the simulation stack:
   specialized Python closures (threaded code);
 * :mod:`repro.exec.engine` — :class:`CompiledSimulator`, a drop-in for
   :class:`repro.sim.FunctionalSimulator` with identical results/profiles;
+* :mod:`repro.exec.native` — :class:`NativeSimulator`, the generated-C
+  JIT tier: modules rendered to C, compiled on the fly and driven via
+  ctypes, with ``.so`` artifacts shared through the artifact store;
+* :mod:`repro.exec.vector` — :class:`VectorizedSimulator`, a
+  NumPy-lockstep batch interpreter, plus :func:`run_batch`, the
+  native → vector → compiled cascade for many-argument-set workloads;
 * :mod:`repro.exec.cache` — a content-addressed code cache so structurally
   identical modules are translated once;
 * :mod:`repro.exec.batch` — :class:`BatchEvaluator`, parallel and
@@ -14,9 +20,10 @@ This package is the performance tier of the simulation stack:
   by every ``engine=`` parameter across the stack.
 
 Engine selection: everything that runs functional simulation accepts an
-``engine`` argument, either ``"interpreter"`` (reference oracle) or
-``"compiled"`` (this package); see :func:`make_functional_simulator` and
-:func:`validate_engine`.
+``engine`` argument — ``"interpreter"`` (reference oracle), ``"compiled"``
+(threaded code) or ``"native"`` (generated C, degrading to compiled with
+one warning when no C compiler exists); see
+:func:`make_functional_simulator` and :func:`validate_engine`.
 """
 
 from .registry import (
@@ -25,19 +32,38 @@ from .registry import (
 )
 from .batch import BatchEvaluator, BatchStats, EvaluatorSpec
 from .cache import (
-    CodeCache, CodeCacheStats, global_code_cache, module_fingerprint,
-    reset_global_code_cache,
+    CODE_STAGE, CodeCache, CodeCacheStats, global_code_cache,
+    module_fingerprint, reset_global_code_cache,
 )
-from .engine import CompiledSimulator, make_functional_simulator
+from .engine import (
+    CompiledSimulator, make_functional_simulator,
+    reset_native_fallback_warning,
+)
+from .native import (
+    NATIVE_STAGE, NativeCacheStats, NativeCodeCache, NativeCompileError,
+    NativeProgram, NativeSimulator, NativeToolchain, NativeUnavailableError,
+    global_native_cache, global_native_toolchain, native_available,
+    reset_global_native_cache, reset_native_toolchain,
+)
 from .translator import TranslatedProgram, translate_module
+from .vector import (
+    BatchResult, VectorizedSimulator, numpy_available, run_batch,
+)
 
 __all__ = [
     "ENGINE_KINDS", "EVALUATION_ENGINES", "FIDELITY_LEVELS",
     "FUNCTIONAL_ENGINES",
     "validate_engine",
     "BatchEvaluator", "BatchStats", "EvaluatorSpec",
-    "CodeCache", "CodeCacheStats", "global_code_cache",
+    "CODE_STAGE", "CodeCache", "CodeCacheStats", "global_code_cache",
     "module_fingerprint", "reset_global_code_cache",
     "CompiledSimulator", "make_functional_simulator",
+    "reset_native_fallback_warning",
+    "NATIVE_STAGE", "NativeCacheStats", "NativeCodeCache",
+    "NativeCompileError", "NativeProgram", "NativeSimulator",
+    "NativeToolchain", "NativeUnavailableError",
+    "global_native_cache", "global_native_toolchain", "native_available",
+    "reset_global_native_cache", "reset_native_toolchain",
     "TranslatedProgram", "translate_module",
+    "BatchResult", "VectorizedSimulator", "numpy_available", "run_batch",
 ]

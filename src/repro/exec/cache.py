@@ -120,14 +120,38 @@ class CodeCacheStats:
                 "hit_rate": round(self.hit_rate, 4)}
 
 
-class CodeCache:
-    """An LRU cache mapping module fingerprints to translated programs."""
+#: artifact-store stage name under which a bound CodeCache mirrors its
+#: counters (so ``pipeline.stats()`` shows threaded-code cache pressure
+#: next to the staged-compilation stages).
+CODE_STAGE = "exec.code"
 
-    def __init__(self, capacity: Optional[int] = 256) -> None:
+
+class CodeCache:
+    """An LRU cache mapping module fingerprints to translated programs.
+
+    When bound to an artifact store (``store=`` or :meth:`bind_store`),
+    evictions are additionally counted on the owning store's
+    ``exec.code`` stage stats — parity with the disk store's
+    ``disk_evictions`` — so capacity pressure is visible in the same
+    per-stage tables the pipeline and the service report.
+    """
+
+    def __init__(self, capacity: Optional[int] = 256, store=None) -> None:
         self.capacity = capacity
         self.stats = CodeCacheStats()
+        self.store = store
         self._entries: "OrderedDict[str, TranslatedProgram]" = OrderedDict()
         self._lock = threading.Lock()
+
+    def bind_store(self, store) -> None:
+        """Mirror future eviction counts onto ``store``'s stage stats."""
+        self.store = store
+
+    def _count_eviction(self) -> None:
+        # Caller holds the lock.
+        self.stats.evictions += 1
+        if self.store is not None:
+            self.store.stats(CODE_STAGE).evictions += 1
 
     def get_or_translate(self, module: Module, library=None) -> TranslatedProgram:
         """Return the cached translation of ``module``, translating on miss."""
@@ -148,7 +172,7 @@ class CodeCache:
             self._entries.move_to_end(fingerprint)
             if self.capacity is not None and len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self._count_eviction()
         return program
 
     def __len__(self) -> int:

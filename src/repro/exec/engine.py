@@ -11,8 +11,10 @@ workload suite.
 
 Engine selection elsewhere in the stack (``Toolchain(engine=...)``,
 ``Evaluator(engine=...)``, ``run_kernel(engine=...)``) resolves through
-:func:`make_functional_simulator`, so "interpreter" and "compiled" are the
-two interchangeable functional-execution engines.
+:func:`make_functional_simulator`, so "interpreter", "compiled" and the
+generated-C "native" (:mod:`repro.exec.native`) are interchangeable
+functional-execution engines; "native" degrades to "compiled" with a
+single per-process warning when no C compiler is available.
 
 Known, deliberate divergences from the interpreter (error paths only):
 
@@ -162,22 +164,59 @@ class CompiledSimulator:
                     call_counts.get(callee, 0) + count * per_visit)
 
 
+#: set after the first native → compiled degradation so a compiler-less
+#: host warns exactly once per process, not once per simulator.
+_NATIVE_FALLBACK_WARNED = False
+
+
+def reset_native_fallback_warning() -> None:
+    """Re-arm the once-per-process native-fallback warning (tests)."""
+    global _NATIVE_FALLBACK_WARNED
+    _NATIVE_FALLBACK_WARNED = False
+
+
 def make_functional_simulator(module: Module, engine: str = "interpreter",
                               **kwargs):
     """Build the requested functional-execution engine for ``module``.
 
     ``engine`` is ``"interpreter"`` (the reference
-    :class:`~repro.sim.FunctionalSimulator`) or ``"compiled"`` (this
-    module's :class:`CompiledSimulator`).  Both expose the same
+    :class:`~repro.sim.FunctionalSimulator`), ``"compiled"`` (this
+    module's :class:`CompiledSimulator`) or ``"native"`` (the generated-C
+    :class:`~repro.exec.native.NativeSimulator`).  All expose the same
     ``run``/``run_profiled``/``profile`` contract.
+
+    ``"native"`` is a *ceiling*, not a hard requirement: when no C
+    compiler is available — or the module was quarantined after a compile
+    failure — the call degrades to ``"compiled"`` and a single
+    :class:`RuntimeWarning` is emitted per process.
     """
+    global _NATIVE_FALLBACK_WARNED
+
     validate_engine(engine, "functional")
     if engine == "interpreter":
         from ..sim.functional import FunctionalSimulator
 
         kwargs.pop("cache", None)
+        kwargs.pop("native_cache", None)
+        kwargs.pop("store", None)
         return FunctionalSimulator(module, **kwargs)
+    if engine == "native":
+        from .native import NativeSimulator, NativeUnavailableError
+
+        try:
+            return NativeSimulator(module, **kwargs)
+        except NativeUnavailableError as exc:
+            if not _NATIVE_FALLBACK_WARNED:
+                _NATIVE_FALLBACK_WARNED = True
+                import warnings
+
+                warnings.warn(
+                    f"native engine unavailable ({exc}); falling back to "
+                    f"the compiled engine", RuntimeWarning, stacklevel=2)
+            engine = "compiled"
     if engine == "compiled":
+        kwargs.pop("native_cache", None)
+        kwargs.pop("store", None)
         return CompiledSimulator(module, **kwargs)
     raise ValueError(
         f"engine '{engine}' is registered but has no constructor here; "

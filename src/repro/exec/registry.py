@@ -6,10 +6,12 @@ validate them against its own private tuple.  This module is the one
 authoritative list, grouped by *kind*:
 
 * ``"functional"`` — engines that execute IR for values and profiles:
-  the reference ``"interpreter"`` and the threaded-code ``"compiled"``;
+  the reference ``"interpreter"``, the threaded-code ``"compiled"`` and
+  the generated-C ``"native"`` (which degrades to ``"compiled"`` with a
+  warning when no C compiler is available);
 * ``"evaluation"`` — measurement engines of :class:`repro.dse.Evaluator`:
-  ``"cycle"`` (cycle-accurate) and ``"compiled"`` (functional execution
-  with statically reduced timing);
+  ``"cycle"`` (cycle-accurate) plus ``"compiled"``/``"native"``
+  (functional execution with statically reduced timing);
 * ``"fidelity"`` — timing-model fidelity levels: ``"cycle"`` (simulate
   every design point) and ``"trace"`` (profile once, retime
   analytically per point via :mod:`repro.model`).
@@ -23,10 +25,10 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 #: functional-execution engines (value/profile producers).
-FUNCTIONAL_ENGINES: Tuple[str, ...] = ("interpreter", "compiled")
+FUNCTIONAL_ENGINES: Tuple[str, ...] = ("interpreter", "compiled", "native")
 
 #: Evaluator measurement engines.
-EVALUATION_ENGINES: Tuple[str, ...] = ("cycle", "compiled")
+EVALUATION_ENGINES: Tuple[str, ...] = ("cycle", "compiled", "native")
 
 #: timing-model fidelity levels (simulate vs. analytic retiming).
 FIDELITY_LEVELS: Tuple[str, ...] = ("cycle", "trace")

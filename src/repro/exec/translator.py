@@ -23,8 +23,10 @@ run time by the branch terminators.
 CUSTOM (ISA-extension) operations are bound from the extension library at
 translation time: the pattern's ``evaluate`` is captured directly in the
 closure.  If a custom op is not registered when translation happens, a lazy
-closure that re-checks the library on every execution is emitted instead,
-matching the interpreter's late-binding behaviour.
+closure is emitted instead that re-checks the library until the op appears
+and then caches the resolved pattern for every later execution, matching
+the interpreter's late-binding behaviour without paying the registry probe
+per instruction.
 
 The translated program is an immutable snapshot: it captures values (not
 live IR nodes) wherever later passes could mutate the module, so a cached
@@ -528,13 +530,23 @@ class ModuleTranslator:
             return do_void_custom
 
         # Late binding: the op may be registered between translation and run.
-        def do_lazy_custom(regs, ctx, _g=getters, _n=name, _d=dest, _w=wrap):
-            from ..core.library import global_extension_library
+        # The library lookup is cached in a cell after the first successful
+        # resolution, so the registry dict is not re-probed on every
+        # execution of a hot op (an unregistered op keeps re-checking, since
+        # registration can still happen later).
+        cell: List = [None]
 
-            bound = global_extension_library().lookup(_n)
+        def do_lazy_custom(regs, ctx, _g=getters, _n=name, _d=dest, _w=wrap,
+                           _cell=cell):
+            bound = _cell[0]
             if bound is None:
-                raise SimulationError(
-                    f"custom op {_n} has no registered semantics")
+                from ..core.library import global_extension_library
+
+                bound = global_extension_library().lookup(_n)
+                if bound is None:
+                    raise SimulationError(
+                        f"custom op {_n} has no registered semantics")
+                _cell[0] = bound
             inputs = [get(regs) for get in _g]
             try:
                 result = bound.evaluate(inputs)

@@ -1,0 +1,966 @@
+"""NumPy-vectorized lockstep interpreter for batch workloads.
+
+The native engine needs a C compiler; this module is the batch fast path
+that works everywhere NumPy does.  :class:`VectorizedSimulator` executes
+*one kernel across many argument sets at once*: every virtual register
+becomes a NumPy array with one lane per argument set, simulated memory
+becomes an ``(n_lanes, size)`` byte matrix, and each IR instruction is
+evaluated once per *batch* instead of once per run.  Lanes that diverge
+in control flow are regrouped per basic block (classic SIMT reconvergence
+by minimum block index), so data-dependent branching stays correct at
+reduced — never wrong — efficiency.
+
+Like the threaded-code translator, all per-instruction decisions are made
+once up front: each instruction becomes a specialized closure over
+pre-resolved operand accessors.  Registers are stored in the NumPy dtype
+matching their IR type (``i32`` → ``int32``, pointers → ``uint32``, …),
+so C-like wraparound arithmetic needs *no* explicit masking on the hot
+path — NumPy's fixed-width integers reproduce the interpreter's
+wrap-on-destination-write semantics by construction, and a trailing
+``astype`` covers the cross-width cases.
+
+Semantics mirror :class:`repro.sim.FunctionalSimulator` per lane on
+successful runs: same return values, memory write-backs and
+:class:`ExecutionProfile` counters.  Deliberate divergences, shared with
+the generated-C engine and only reachable through already-failing or
+ill-typed programs: lanes read registers as 0 before any write instead
+of raising, a fault in *any* lane (division by zero, out-of-range
+access, step-limit overrun) aborts the whole batch with the
+interpreter's exception for the first faulting lane, and values passed
+to a narrower formal are wrapped at the call boundary.
+
+:func:`run_batch` is the engine cascade used by the service and the CLI:
+``native`` (one JIT-compiled run per set) → ``vector`` (this module) →
+``compiled`` (threaded code, always available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:  # NumPy is optional: hosts without it still get the compiled tier.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on compiler-less CI
+    _np = None
+
+from ..ir import (
+    Argument, Constant, Function, GlobalVariable, Instruction, IntType, Module,
+    Opcode, PointerType, UndefValue, VirtualRegister,
+)
+from ..ir.types import FloatType, I32, Type
+from ..sim.functional import ExecutionProfile, SimulationError, _wrap
+from ..sim.memory import Memory, MemoryError_, ProgramImage
+
+
+def numpy_available() -> bool:
+    """True when the vectorized batch engine can run."""
+    return _np is not None
+
+
+# ----------------------------------------------------------------------
+# Register domains: the NumPy dtype a register of a given type lives in.
+# ----------------------------------------------------------------------
+
+def _domain(type_: Type):
+    if isinstance(type_, IntType):
+        if type_.bits <= 8:
+            return _np.int8 if type_.signed else _np.uint8
+        if type_.bits <= 16:
+            return _np.int16 if type_.signed else _np.uint16
+        if type_.bits <= 32:
+            return _np.int32 if type_.signed else _np.uint32
+        return _np.int64 if type_.signed else _np.uint64
+    if isinstance(type_, FloatType):
+        return _np.float64
+    if isinstance(type_, PointerType):
+        return _np.uint32
+    return _np.int64
+
+
+def _make_wrap(type_: Type) -> Callable:
+    """Array wrap matching :func:`repro.sim.functional._wrap` for ``type_``.
+
+    Where the register domain already *is* the wrapped domain (full-width
+    integers, pointers, f64) this is a dtype coercion at most; sub-width
+    integers (``u1``) additionally mask.
+    """
+    domain = _domain(type_)
+    if isinstance(type_, IntType) and type_.bits not in (8, 16, 32, 64):
+        mask = _np.int64((1 << type_.bits) - 1)
+        if type_.signed:
+            half = _np.int64(1 << (type_.bits - 1))
+            excess = _np.int64(1 << type_.bits)
+
+            def wrap_narrow_signed(values):
+                masked = values.astype(_np.int64) & mask
+                return _np.where(masked >= half, masked - excess,
+                                 masked).astype(domain)
+            return wrap_narrow_signed
+
+        def wrap_narrow(values):
+            return (values.astype(_np.int64) & mask).astype(domain)
+        return wrap_narrow
+    if isinstance(type_, FloatType) and type_.bits == 32:
+        def wrap_f32(values):
+            return values.astype(_np.float32).astype(_np.float64)
+        return wrap_f32
+
+    def wrap_domain(values):
+        if values.dtype == domain:
+            return values
+        return values.astype(domain)  # C cast == wrap-on-write
+    return wrap_domain
+
+
+def _const_scalar(value):
+    """A dtype-pinned NumPy scalar for a raw IR constant."""
+    if isinstance(value, float):
+        return _np.float64(value)
+    value = int(value)
+    if -(1 << 31) <= value < (1 << 31):
+        return _np.int32(value)
+    if -(1 << 63) <= value < (1 << 63):
+        return _np.int64(value)
+    # Beyond int64: two's-complement view (congruent mod 2**64 for all
+    # ring operations, which is all the frontend emits at this width).
+    value &= (1 << 64) - 1
+    return _np.int64(value - (1 << 64) if value >= (1 << 63) else value)
+
+
+# ----------------------------------------------------------------------
+# Static per-block info (profile deltas, mirroring the translator's).
+# ----------------------------------------------------------------------
+
+class _VecBlock:
+    __slots__ = ("name", "index", "ops", "terminator", "n_steps",
+                 "opcode_delta", "loads", "stores", "branches", "call_delta")
+
+    def __init__(self, name: str, index: int) -> None:
+        self.name = name
+        self.index = index
+        self.ops: Tuple[Callable, ...] = ()
+        #: ("jump", t) | ("branch", get, t, f) | ("ret", get_or_None)
+        #: | ("off", block, function)
+        self.terminator: Tuple = ()
+        self.n_steps = 0
+        self.opcode_delta: Dict[str, int] = {}
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.call_delta: Dict[str, int] = {}
+
+
+class _VecFunction:
+    __slots__ = ("name", "function", "blocks", "ret_dtype")
+
+    def __init__(self, function: Function) -> None:
+        self.name = function.name
+        self.function = function
+        self.blocks: List[_VecBlock] = []
+        self.ret_dtype = None
+
+
+# ----------------------------------------------------------------------
+# The simulator.
+# ----------------------------------------------------------------------
+
+class VectorizedSimulator:
+    """Executes one module over ``n_lanes`` argument sets in lockstep."""
+
+    def __init__(self, module: Module, n_lanes: int,
+                 memory_size: int = 1 << 20,
+                 max_steps: int = 50_000_000) -> None:
+        if _np is None:
+            raise RuntimeError("the vectorized engine requires numpy")
+        if n_lanes < 1:
+            raise ValueError("n_lanes must be >= 1")
+        self.module = module
+        self.n_lanes = n_lanes
+        self.size = memory_size
+        self.max_steps = max_steps
+
+        template = ProgramImage(module, Memory(memory_size))
+        # Only the globals prefix of the template image is non-zero, so a
+        # lazily-zeroed matrix plus a prefix broadcast beats tiling the
+        # whole per-lane memory (which is megabytes of zeros).
+        init_end = template.memory._next_free
+        self.mem = _np.zeros((n_lanes, memory_size), dtype=_np.uint8)
+        self.mem[:, :init_end] = _np.frombuffer(
+            bytes(template.memory.data[:init_end]), dtype=_np.uint8)
+        self.next_free = _np.full(n_lanes, init_end, dtype=_np.int64)
+        self.steps = _np.zeros(n_lanes, dtype=_np.int64)
+        self.taken = _np.zeros(n_lanes, dtype=_np.int64)
+        self._patterns: Dict[str, object] = {}
+        self.profiles: List[ExecutionProfile] = []
+
+        self._functions: Dict[str, _VecFunction] = {}
+        for name, function in module.functions.items():
+            self._functions[name] = _VecFunction(function)
+        for name, function in module.functions.items():
+            self._translate(self._functions[name])
+        self._visits = {name: _np.zeros((len(vf.blocks), n_lanes),
+                                        dtype=_np.int64)
+                        for name, vf in self._functions.items()}
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def run_many(self, function_name: str, arg_sets: Sequence[Sequence],
+                 copy_back: bool = True) -> List:
+        """Execute ``function_name`` once per lane; returns per-lane values.
+
+        ``arg_sets`` has one argument tuple per lane (same arity; list
+        arguments may differ in length per lane).  List write-backs and
+        the per-lane :attr:`profiles` mirror running the interpreter
+        once per set.
+        """
+        if len(arg_sets) != self.n_lanes:
+            raise SimulationError(
+                f"expected {self.n_lanes} argument sets, got {len(arg_sets)}")
+        function = self.module.get_function(function_name)
+        n_formals = len(function.arguments)
+        for arg_set in arg_sets:
+            if len(arg_set) != n_formals:
+                raise SimulationError(
+                    f"{function_name} expects {n_formals} arguments, "
+                    f"got {len(arg_set)}")
+
+        lowered: List = []
+        writebacks = []
+        for j, formal in enumerate(function.arguments):
+            actuals = [arg_set[j] for arg_set in arg_sets]
+            if any(isinstance(a, (list, tuple)) for a in actuals):
+                element = I32
+                if (isinstance(formal.type, PointerType)
+                        and formal.type.pointee is not None):
+                    element = formal.type.pointee
+                addresses = _np.zeros(self.n_lanes, dtype=_np.uint32)
+                for lane, actual in enumerate(actuals):
+                    values = list(actual)
+                    address = self._allocate_lane(
+                        lane, max(4, element.size * len(values)),
+                        element.alignment)
+                    self._write_lane_array(lane, address, values, element)
+                    addresses[lane] = address
+                    if copy_back and isinstance(actual, list):
+                        writebacks.append((lane, actual, address,
+                                           len(values), element))
+                lowered.append(addresses)
+            else:
+                scalars = [_wrap(a, formal.type) for a in actuals]
+                lowered.append(_np.array(scalars,
+                                         dtype=_domain(formal.type)))
+
+        lanes = _np.arange(self.n_lanes, dtype=_np.int64)
+        values = self._call(self._functions[function.name], lanes, lowered)
+
+        for lane, target, address, count, element in writebacks:
+            target[:] = self._read_lane_array(lane, address, count, element)
+        self.profiles = self._build_profiles()
+        if values is None:
+            return [None] * self.n_lanes
+        if values.dtype.kind == "f":
+            return [float(v) for v in values]
+        return [int(v) for v in values]
+
+    # ------------------------------------------------------------------
+    # Per-lane memory helpers (argument lowering / write-back).
+    # ------------------------------------------------------------------
+    def _allocate_lane(self, lane: int, nbytes: int, alignment: int) -> int:
+        address = int((self.next_free[lane] + alignment - 1)
+                      // alignment * alignment)
+        if address + nbytes > self.size:
+            raise MemoryError_(
+                f"out of simulated memory: need {nbytes} bytes at {address}")
+        self.next_free[lane] = address + nbytes
+        return address
+
+    def _lane_memory(self, lane: int) -> Memory:
+        scratch = Memory.__new__(Memory)
+        scratch.size = self.size
+        scratch.data = memoryview(self.mem[lane])
+        scratch._next_free = int(self.next_free[lane])
+        return scratch
+
+    def _write_lane_array(self, lane: int, address: int, values: Sequence,
+                          element: Type) -> None:
+        self._lane_memory(lane).write_array(address, values, element)
+
+    def _read_lane_array(self, lane: int, address: int, count: int,
+                         element: Type) -> List:
+        return self._lane_memory(lane).read_array(address, count, element)
+
+    # ------------------------------------------------------------------
+    # Execution core: per-block closure scheduling with reconvergence.
+    # ------------------------------------------------------------------
+    def _call(self, vf: _VecFunction, lanes, args):
+        """Run ``vf`` on the lane subset ``lanes`` (global lane indices).
+
+        ``args`` are arrays of ``len(lanes)``; returns an array of the
+        same length, or ``None`` for void returns.
+        """
+        if not vf.blocks:
+            raise SimulationError(f"function {vf.name} has no entry block")
+        width = len(lanes)
+        regs: Dict[int, object] = {}
+        for formal, actual in zip(vf.function.arguments, args):
+            domain = _domain(formal.type)
+            array = _np.asarray(actual)
+            regs[formal.id] = (array.astype(domain)
+                               if array.dtype != domain else array)
+        retvals = None
+        visits = self._visits[vf.name]
+        blocks = vf.blocks
+        steps = self.steps
+        max_steps = self.max_steps
+
+        # Converged mode: every live lane is in the same block, closures
+        # see idx=None and operate on whole register arrays.
+        current_block = 0
+        current = None   # per-lane block indices once diverged
+        alive = None     # per-lane liveness once diverged
+
+        while True:
+            if current is None:
+                b = current_block
+                idx = None
+                glanes = lanes
+            else:
+                live = current[alive]
+                if live.size == 0:
+                    break
+                b = int(live.min())
+                sel = alive & (current == b)
+                idx = _np.nonzero(sel)[0]
+                glanes = lanes[idx]
+                if idx.size == width:
+                    idx = None
+                    glanes = lanes
+            block = blocks[b]
+
+            visits[b, glanes] += 1
+            steps[glanes] += block.n_steps
+            if int(steps[glanes].max()) > max_steps:
+                raise SimulationError("maximum step count exceeded")
+
+            for op in block.ops:
+                op(regs, idx, glanes, width)
+
+            kind = block.terminator[0]
+            if kind == "jump":
+                target = block.terminator[1]
+                if current is None:
+                    current_block = target
+                else:
+                    current[idx if idx is not None else slice(None)] = target
+            elif kind == "branch":
+                _kind, get, t_index, f_index = block.terminator
+                cond = get(regs, idx)
+                if cond.ndim == 0:
+                    taken_all = bool(cond)
+                    if taken_all:
+                        self.taken[glanes] += 1
+                    target = t_index if taken_all else f_index
+                    if current is None:
+                        current_block = target
+                    else:
+                        current[idx if idx is not None
+                                else slice(None)] = target
+                else:
+                    taken = cond != 0
+                    self.taken[glanes[taken]] += 1
+                    if current is None:
+                        if taken.all():
+                            current_block = t_index
+                        elif not taken.any():
+                            current_block = f_index
+                        else:  # diverge
+                            current = _np.where(taken, t_index, f_index)
+                            alive = _np.ones(width, dtype=bool)
+                    else:
+                        where = idx if idx is not None else slice(None)
+                        current[where] = _np.where(taken, t_index, f_index)
+            elif kind == "ret":
+                get = block.terminator[1]
+                if get is not None:
+                    value = get(regs, idx)
+                    if retvals is None:
+                        retvals = _np.zeros(width, dtype=vf.ret_dtype)
+                    where = idx if idx is not None else slice(None)
+                    retvals[where] = value
+                if current is None:
+                    break  # all lanes returned together
+                alive[idx if idx is not None else slice(None)] = False
+            else:  # "off": no terminator — fail like the interpreter
+                raise SimulationError(
+                    f"fell off the end of block {block.terminator[1]} "
+                    f"in {block.terminator[2]}")
+        return retvals
+
+    # ------------------------------------------------------------------
+    # Translation: one specialized closure per instruction.
+    # ------------------------------------------------------------------
+    def _translate(self, vf: _VecFunction) -> None:
+        function = vf.function
+        index_of = {id(b): i for i, b in enumerate(function.blocks)}
+        ret_dtypes = []
+        for i, block in enumerate(function.blocks):
+            vb = _VecBlock(block.name, i)
+            ops: List[Callable] = []
+            for inst in block.instructions:
+                vb.n_steps += 1
+                key = inst.opcode.value
+                vb.opcode_delta[key] = vb.opcode_delta.get(key, 0) + 1
+                if inst.is_terminator():
+                    vb.terminator = self._translate_terminator(
+                        inst, index_of, ret_dtypes)
+                    if inst.opcode is Opcode.BRANCH:
+                        vb.branches += 1
+                    break
+                ops.append(self._translate_instruction(inst, vb))
+            else:
+                vb.terminator = ("off", block.name, function.name)
+            vb.ops = tuple(ops)
+            vf.blocks.append(vb)
+        if ret_dtypes:
+            dtype = ret_dtypes[0]
+            for other in ret_dtypes[1:]:
+                dtype = _np.promote_types(dtype, other)
+            vf.ret_dtype = dtype
+
+    def _access(self, operand):
+        """('k', numpy scalar) or ('r', register id)."""
+        if isinstance(operand, Constant):
+            return ("k", _const_scalar(operand.value))
+        if isinstance(operand, GlobalVariable):
+            if operand.address is None:
+                raise SimulationError(
+                    f"global {operand.name} has no address")
+            return ("k", _np.uint32(operand.address))
+        if isinstance(operand, UndefValue):
+            return ("k", _np.int32(0))
+        if isinstance(operand, (VirtualRegister, Argument)):
+            return ("r", operand.id)
+        raise SimulationError(f"cannot evaluate operand {operand!r}")
+
+    def _getter(self, operand) -> Callable:
+        kind, ref = self._access(operand)
+        if kind == "k":
+            def get_const(regs, idx, _v=ref):
+                return _v
+            return get_const
+
+        def get_reg(regs, idx, _i=ref):
+            array = regs.get(_i)
+            if array is None:
+                # Zero before first write (documented divergence from the
+                # interpreter's undefined-register error).
+                return _np.int32(0)
+            return array if idx is None else array[idx]
+        return get_reg
+
+    @staticmethod
+    def _putter(inst: Instruction) -> Callable:
+        dest = inst.dest.id
+        wrap = _make_wrap(inst.dest.type)
+        domain = _domain(inst.dest.type)
+
+        def put(regs, idx, values, width, _d=dest, _w=wrap, _D=domain):
+            if values.ndim == 0:
+                if idx is None:
+                    regs[_d] = _np.full(width, values, dtype=_D)
+                    return
+                out = values
+            else:
+                out = _w(values)
+            if idx is None:
+                regs[_d] = out
+                return
+            existing = regs.get(_d)
+            if existing is None:
+                existing = regs[_d] = _np.zeros(width, dtype=_D)
+            existing[idx] = out
+        return put
+
+    # ------------------------------------------------------------------
+    def _translate_terminator(self, inst: Instruction, index_of,
+                              ret_dtypes) -> Tuple:
+        op = inst.opcode
+        if op is Opcode.JUMP:
+            return ("jump", index_of[id(inst.targets[0])])
+        if op is Opcode.BRANCH:
+            return ("branch", self._getter(inst.operands[0]),
+                    index_of[id(inst.targets[0])],
+                    index_of[id(inst.targets[1])])
+        if op is Opcode.RETURN:
+            if inst.operands:
+                operand = inst.operands[0]
+                if isinstance(operand, Constant):
+                    ret_dtypes.append(_np.asarray(
+                        _const_scalar(operand.value)).dtype)
+                elif isinstance(operand, (VirtualRegister, Argument)):
+                    ret_dtypes.append(_np.dtype(_domain(operand.type)))
+                else:
+                    ret_dtypes.append(_np.dtype(_np.int64))
+                return ("ret", self._getter(operand))
+            return ("ret", None)
+        raise SimulationError(f"unexpected terminator {op}")
+
+    # ------------------------------------------------------------------
+    _BINARY = {
+        Opcode.ADD: lambda a, b: a + b,
+        Opcode.SUB: lambda a, b: a - b,
+        Opcode.MUL: lambda a, b: a * b,
+        Opcode.AND: lambda a, b: a & b,
+        Opcode.OR: lambda a, b: a | b,
+        Opcode.XOR: lambda a, b: a ^ b,
+        Opcode.FADD: lambda a, b: a + b,
+        Opcode.FSUB: lambda a, b: a - b,
+        Opcode.FMUL: lambda a, b: a * b,
+    }
+    _COMPARE = {
+        Opcode.CMPEQ: lambda a, b: a == b, Opcode.FCMPEQ: lambda a, b: a == b,
+        Opcode.CMPNE: lambda a, b: a != b,
+        Opcode.CMPLT: lambda a, b: a < b, Opcode.FCMPLT: lambda a, b: a < b,
+        Opcode.CMPLE: lambda a, b: a <= b, Opcode.FCMPLE: lambda a, b: a <= b,
+        Opcode.CMPGT: lambda a, b: a > b,
+        Opcode.CMPGE: lambda a, b: a >= b,
+    }
+
+    def _translate_instruction(self, inst: Instruction,
+                               vb: _VecBlock) -> Callable:
+        op = inst.opcode
+
+        if op in self._BINARY:
+            return self._build_binary(inst, self._BINARY[op])
+        if op in self._COMPARE:
+            fn = self._COMPARE[op]
+            return self._build_binary(
+                inst, lambda a, b, _f=fn: _f(a, b).astype(_np.int64))
+        if op is Opcode.SHL:
+            return self._build_shift(inst, lambda a, s: a << s)
+        if op is Opcode.SAR:
+            return self._build_shift(inst, lambda a, s: a >> s)
+        if op is Opcode.SHR:
+            mask32 = _np.int64(0xFFFFFFFF)
+            return self._build_shift(
+                inst, lambda a, s: (a.astype(_np.int64) & mask32) >> s
+                if isinstance(a, _np.ndarray)
+                else (_np.int64(a) & mask32) >> s)
+        if op is Opcode.MIN:
+            return self._build_binary(
+                inst, lambda a, b: _np.where(b < a, b, a))
+        if op is Opcode.MAX:
+            return self._build_binary(
+                inst, lambda a, b: _np.where(b > a, b, a))
+        if op is Opcode.DIV or op is Opcode.REM:
+            return self._build_division(inst, op is Opcode.REM)
+        if op is Opcode.FDIV:
+            return self._build_fdiv(inst)
+
+        if op in (Opcode.MOV, Opcode.SEXT, Opcode.ZEXT, Opcode.TRUNC):
+            return self._build_unary(inst, None)
+        if op is Opcode.ABS:
+            return self._build_unary(inst, _np.abs)
+        if op is Opcode.NEG or op is Opcode.FNEG:
+            return self._build_unary(inst, _np.negative)
+        if op is Opcode.NOT:
+            return self._build_unary(inst, _np.invert)
+        if op is Opcode.ITOF:
+            return self._build_unary(
+                inst, lambda a: _np.asarray(a).astype(_np.float64))
+        if op is Opcode.FTOI:
+            return self._build_unary(
+                inst, lambda a: _np.asarray(a).astype(_np.int64))
+
+        if op is Opcode.SELECT:
+            return self._build_select(inst)
+        if op is Opcode.LOAD:
+            vb.loads += 1
+            return self._build_load(inst)
+        if op is Opcode.STORE:
+            vb.stores += 1
+            return self._build_store(inst)
+        if op is Opcode.ALLOCA:
+            return self._build_alloca(inst)
+        if op is Opcode.CALL:
+            vb.call_delta[inst.callee] = vb.call_delta.get(inst.callee, 0) + 1
+            return self._build_call(inst)
+        if op is Opcode.CUSTOM:
+            return self._build_custom(inst)
+        raise SimulationError(f"unimplemented opcode {op}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _build_binary(self, inst: Instruction, fn: Callable) -> Callable:
+        get_a = self._getter(inst.operands[0])
+        get_b = self._getter(inst.operands[1])
+        put = self._putter(inst)
+
+        def do_binary(regs, idx, glanes, width, _a=get_a, _b=get_b,
+                      _fn=fn, _p=put):
+            _p(regs, idx, _np.asarray(_fn(_a(regs, idx), _b(regs, idx))),
+               width)
+        return do_binary
+
+    def _build_shift(self, inst: Instruction, fn: Callable) -> Callable:
+        get_a = self._getter(inst.operands[0])
+        put = self._putter(inst)
+        operand = inst.operands[1]
+        if isinstance(operand, Constant):
+            # Pre-mask the constant shift amount.
+            shift = _np.int32(int(operand.value) & 31)
+
+            def do_shift_const(regs, idx, glanes, width, _a=get_a,
+                               _s=shift, _fn=fn, _p=put):
+                _p(regs, idx, _np.asarray(_fn(_a(regs, idx), _s)), width)
+            return do_shift_const
+        get_b = self._getter(operand)
+        mask = _np.int32(31)
+
+        def do_shift(regs, idx, glanes, width, _a=get_a, _b=get_b,
+                     _m=mask, _fn=fn, _p=put):
+            _p(regs, idx,
+               _np.asarray(_fn(_a(regs, idx), _b(regs, idx) & _m)), width)
+        return do_shift
+
+    def _build_division(self, inst: Instruction, is_rem: bool) -> Callable:
+        get_a = self._getter(inst.operands[0])
+        get_b = self._getter(inst.operands[1])
+        put = self._putter(inst)
+        message = ("integer remainder by zero" if is_rem
+                   else "integer division by zero")
+
+        def do_division(regs, idx, glanes, width, _a=get_a, _b=get_b,
+                        _p=put, _rem=is_rem, _msg=message):
+            # int64 working domain: exact |INT32_MIN|, trunc-toward-zero
+            # via the interpreter's abs // abs + sign fixup.
+            rhs = _np.asarray(_b(regs, idx)).astype(_np.int64)
+            if not rhs.all():
+                raise SimulationError(_msg)
+            lhs = _np.asarray(_a(regs, idx)).astype(_np.int64)
+            quotient = _np.abs(lhs) // _np.abs(rhs)
+            signed_q = _np.where((lhs >= 0) == (rhs >= 0),
+                                 quotient, -quotient)
+            _p(regs, idx, lhs - signed_q * rhs if _rem else signed_q, width)
+        return do_division
+
+    def _build_fdiv(self, inst: Instruction) -> Callable:
+        get_a = self._getter(inst.operands[0])
+        get_b = self._getter(inst.operands[1])
+        put = self._putter(inst)
+
+        def do_fdiv(regs, idx, glanes, width, _a=get_a, _b=get_b, _p=put):
+            rhs = _np.asarray(_b(regs, idx))
+            if not rhs.all():
+                raise SimulationError("floating division by zero")
+            _p(regs, idx, _np.asarray(_a(regs, idx) / rhs), width)
+        return do_fdiv
+
+    def _build_unary(self, inst: Instruction,
+                     fn: Optional[Callable]) -> Callable:
+        put = self._putter(inst)
+        operand = inst.operands[0]
+        if isinstance(operand, (Constant, GlobalVariable, UndefValue)):
+            _kind, scalar = self._access(operand)
+            value = _np.asarray(scalar if fn is None else fn(scalar))
+
+            def do_unary_const(regs, idx, glanes, width, _v=value, _p=put):
+                _p(regs, idx, _v, width)
+            return do_unary_const
+        get = self._getter(operand)
+        if fn is None:
+            def do_move(regs, idx, glanes, width, _g=get, _p=put):
+                value = _np.asarray(_g(regs, idx))
+                if idx is None and value.ndim != 0:
+                    value = value.copy()  # never alias two registers
+                _p(regs, idx, value, width)
+            return do_move
+
+        def do_unary(regs, idx, glanes, width, _g=get, _fn=fn, _p=put):
+            _p(regs, idx, _np.asarray(_fn(_g(regs, idx))), width)
+        return do_unary
+
+    def _build_select(self, inst: Instruction) -> Callable:
+        get_c = self._getter(inst.operands[0])
+        get_t = self._getter(inst.operands[1])
+        get_f = self._getter(inst.operands[2])
+        put = self._putter(inst)
+
+        def do_select(regs, idx, glanes, width, _c=get_c, _t=get_t,
+                      _f=get_f, _p=put):
+            cond = _np.asarray(_c(regs, idx))
+            if cond.ndim == 0:
+                value = _np.asarray(_t(regs, idx) if cond
+                                    else _f(regs, idx))
+            else:
+                value = _np.where(cond != 0, _t(regs, idx), _f(regs, idx))
+            _p(regs, idx, value, width)
+        return do_select
+
+    # ------------------------------------------------------------------
+    # Memory: single-gather loads, single-scatter stores.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _element_code(type_: Type) -> str:
+        if isinstance(type_, FloatType):
+            return "<f4" if type_.bits == 32 else "<f8"
+        nbytes = max(1, type_.size)
+        if isinstance(type_, IntType) and type_.signed:
+            return f"<i{nbytes}"
+        return f"<u{nbytes}"
+
+    def _check_addresses(self, addresses, nbytes: int):
+        addresses = _np.asarray(addresses).astype(_np.int64)
+        bad = (addresses < Memory.GUARD) | (addresses > self.size - nbytes)
+        if bad.any():
+            first = int(addresses[int(_np.argmax(bad))])
+            raise MemoryError_(
+                f"access of {nbytes} bytes at {first} is out of range")
+        return addresses
+
+    def _build_load(self, inst: Instruction) -> Callable:
+        get_addr = self._getter(inst.operands[0])
+        put = self._putter(inst)
+        nbytes = max(1, inst.dest.type.size)
+        code = self._element_code(inst.dest.type)
+        offsets = _np.arange(nbytes, dtype=_np.int64)
+        is_float = isinstance(inst.dest.type, FloatType)
+
+        def do_load(regs, idx, glanes, width, _a=get_addr, _p=put,
+                    _nb=nbytes, _code=code, _off=offsets, _fl=is_float):
+            addresses = _np.asarray(_a(regs, idx))
+            if addresses.ndim == 0:
+                addresses = _np.full(len(glanes), addresses)
+            addresses = self._check_addresses(addresses, _nb)
+            rows = self.mem[glanes[:, None], addresses[:, None] + _off]
+            values = _np.ascontiguousarray(rows).view(_code).ravel()
+            if _fl:
+                values = values.astype(_np.float64)
+            _p(regs, idx, values, width)
+        return do_load
+
+    def _build_store(self, inst: Instruction) -> Callable:
+        get_value = self._getter(inst.operands[0])
+        get_addr = self._getter(inst.operands[1])
+        stype = inst.operands[0].type
+        nbytes = max(1, stype.size)
+        code = self._element_code(stype)
+        offsets = _np.arange(nbytes, dtype=_np.int64)
+
+        def do_store(regs, idx, glanes, width, _v=get_value, _a=get_addr,
+                     _nb=nbytes, _code=code, _off=offsets):
+            n = len(glanes)
+            addresses = _np.asarray(_a(regs, idx))
+            if addresses.ndim == 0:
+                addresses = _np.full(n, addresses)
+            addresses = self._check_addresses(addresses, _nb)
+            values = _np.asarray(_v(regs, idx))
+            if values.ndim == 0:
+                values = _np.full(n, values)
+            rows = _np.ascontiguousarray(values.astype(_code)) \
+                .view(_np.uint8).reshape(n, _nb)
+            self.mem[glanes[:, None], addresses[:, None] + _off] = rows
+        return do_store
+
+    def _build_alloca(self, inst: Instruction) -> Callable:
+        get_count = self._getter(inst.operands[0])
+        put = self._putter(inst)
+        element = inst.alloc_type or I32
+        size, alignment = element.size, element.alignment
+
+        def do_alloca(regs, idx, glanes, width, _n=get_count, _s=size,
+                      _al=alignment, _p=put):
+            count = _np.asarray(_n(regs, idx)).astype(_np.int64)
+            if count.ndim == 0:
+                count = _np.full(len(glanes), count)
+            nbytes = _np.maximum(4, _np.int64(_s) * count)
+            base = self.next_free[glanes]
+            addresses = (base + _al - 1) // _al * _al
+            bad = addresses + nbytes > self.size
+            if bad.any():
+                first = int(_np.argmax(bad))
+                raise MemoryError_(
+                    f"out of simulated memory: need {int(nbytes[first])} "
+                    f"bytes at {int(addresses[first])}")
+            self.next_free[glanes] = addresses + nbytes
+            _p(regs, idx, addresses, width)
+        return do_alloca
+
+    # ------------------------------------------------------------------
+    def _build_call(self, inst: Instruction) -> Callable:
+        getters = tuple(self._getter(a) for a in inst.operands)
+        if not self.module.has_function(inst.callee):
+            name, module_name = inst.callee, self.module.name
+
+            def do_bad_call(regs, idx, glanes, width, _n=name,
+                            _m=module_name):
+                raise SimulationError(
+                    f"no function named {_n} in module {_m}")
+            return do_bad_call
+        callee = self._functions[inst.callee]
+        put = self._putter(inst) if inst.dest is not None else None
+
+        def do_call(regs, idx, glanes, width, _g=getters, _f=callee,
+                    _p=put):
+            n = len(glanes)
+            arg_values = []
+            for get in _g:
+                value = _np.asarray(get(regs, idx))
+                if value.ndim == 0:
+                    value = _np.full(n, value)
+                else:
+                    # Copy: callee-side writes to the formal must never
+                    # alias the caller's register array.
+                    value = value.copy()
+                arg_values.append(value)
+            result = self._call(_f, glanes, arg_values)
+            if _p is not None:
+                if result is None:
+                    result = _np.zeros(n, dtype=_np.int64)
+                _p(regs, idx, result, width)
+        return do_call
+
+    def _build_custom(self, inst: Instruction) -> Callable:
+        getters = tuple(self._getter(a) for a in inst.operands)
+        name = inst.custom_op
+        put = self._putter(inst) if inst.dest is not None else None
+
+        def do_custom(regs, idx, glanes, width, _g=getters, _n=name,
+                      _p=put):
+            pattern = self._patterns.get(_n)
+            if pattern is None:
+                from ..core.library import global_extension_library
+
+                pattern = global_extension_library().lookup(_n)
+                if pattern is None:
+                    raise SimulationError(
+                        f"custom op {_n} has no registered semantics")
+                self._patterns[_n] = pattern
+            n = len(glanes)
+            columns = []
+            for get in _g:
+                value = _np.asarray(get(regs, idx))
+                if value.ndim == 0:
+                    value = _np.full(n, value)
+                columns.append(value)
+            out = _np.zeros(n, dtype=_np.int64)
+            for lane in range(n):
+                inputs = [int(c[lane]) for c in columns]
+                try:
+                    result = int(pattern.evaluate(inputs))
+                except KeyError as exc:
+                    raise SimulationError(
+                        f"custom op {_n} raised KeyError: {exc}") from exc
+                # Two's-complement into the int64 lane; put() re-wraps to
+                # the destination type like the interpreter's _set().
+                result &= 0xFFFFFFFFFFFFFFFF
+                out[lane] = (result - (1 << 64)
+                             if result >= (1 << 63) else result)
+            if _p is not None:
+                _p(regs, idx, out, width)
+        return do_custom
+
+    # ------------------------------------------------------------------
+    # Profiles.
+    # ------------------------------------------------------------------
+    def _build_profiles(self) -> List[ExecutionProfile]:
+        profiles = []
+        for lane in range(self.n_lanes):
+            profile = ExecutionProfile()
+            for name, vf in self._functions.items():
+                visits = self._visits[name][:, lane]
+                if not visits.any():
+                    continue
+                per_function = profile.block_counts.setdefault(name, {})
+                for vb in vf.blocks:
+                    count = int(visits[vb.index])
+                    if count == 0:
+                        continue
+                    per_function[vb.name] = count
+                    profile.instructions_executed += count * vb.n_steps
+                    for key, delta in vb.opcode_delta.items():
+                        profile.opcode_counts[key] = (
+                            profile.opcode_counts.get(key, 0) + count * delta)
+                    profile.loads += count * vb.loads
+                    profile.stores += count * vb.stores
+                    profile.branches += count * vb.branches
+                    for callee, delta in vb.call_delta.items():
+                        profile.call_counts[callee] = (
+                            profile.call_counts.get(callee, 0)
+                            + count * delta)
+            profile.taken_branches = int(self.taken[lane])
+            profiles.append(profile)
+        return profiles
+
+
+# ----------------------------------------------------------------------
+# The batch cascade.
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchResult:
+    """Per-lane outcomes of one :func:`run_batch` call."""
+
+    values: List
+    engine_used: str
+    instructions: List[int]
+
+
+def run_batch(module: Module, entry: str, arg_sets: Sequence[Sequence],
+              engine: str = "native", store=None,
+              memory_size: int = 1 << 20,
+              max_steps: int = 50_000_000) -> BatchResult:
+    """Run ``entry`` over many argument sets with the fastest viable tier.
+
+    The requested ``engine`` is the *ceiling* of the cascade: ``native``
+    tries the generated-C engine first (one fresh simulator per set, all
+    sharing one compile), falls back to the vectorized interpreter when
+    no compiler is available, and to per-set threaded code when NumPy is
+    missing too.  ``engine="compiled"``/``"interpreter"`` skip straight
+    to the respective per-set loop.  Returns bit-identical values to the
+    interpreter run one set at a time.
+    """
+    from .engine import make_functional_simulator
+
+    def _per_set(maker, engine_used: str) -> Optional[BatchResult]:
+        values, instructions = [], []
+        for arg_set in arg_sets:
+            simulator = maker()
+            if simulator is None:
+                return None
+            run_args = tuple(list(a) if isinstance(a, list) else a
+                             for a in arg_set)
+            values.append(simulator.run(entry, *run_args))
+            instructions.append(simulator.profile.instructions_executed)
+        return BatchResult(values, engine_used, instructions)
+
+    if engine == "native":
+        from .native import NativeSimulator, NativeUnavailableError
+
+        def make_native():
+            try:
+                return NativeSimulator(module, memory_size=memory_size,
+                                       max_steps=max_steps, store=store)
+            except NativeUnavailableError:
+                return None
+
+        result = _per_set(make_native, "native")
+        if result is not None:
+            return result
+        if numpy_available():
+            simulator = VectorizedSimulator(module, len(arg_sets),
+                                            memory_size=memory_size,
+                                            max_steps=max_steps)
+            values = simulator.run_many(entry, arg_sets)
+            return BatchResult(values, "vector",
+                               [p.instructions_executed
+                                for p in simulator.profiles])
+        engine = "compiled"
+
+    simulator_engine = engine
+    return _per_set(
+        lambda: make_functional_simulator(module, engine=simulator_engine,
+                                          memory_size=memory_size,
+                                          max_steps=max_steps),
+        simulator_engine)

@@ -12,13 +12,14 @@ half across design points with equal backend axes.
 """
 
 from .compile import (
-    BackendStage, CompilePipeline, EncodeStage, FrontendStage, OptimizeStage,
-    TraceStage, global_compile_pipeline, rebind_compiled,
+    BackendStage, CompilePipeline, EncodeStage, FrontendStage, NativeStage,
+    OptimizeStage, TraceStage, global_compile_pipeline, rebind_compiled,
     reset_global_compile_pipeline,
 )
 from .fingerprints import (
     backend_fingerprint, encode_fingerprint, machine_backend_fingerprint,
-    opt_fingerprint, source_fingerprint, trace_fingerprint,
+    native_fingerprint, opt_fingerprint, source_fingerprint,
+    trace_fingerprint,
 )
 from .stage import Stage, StageRecord
 from .store import (
@@ -29,8 +30,9 @@ __all__ = [
     "ArtifactStore", "StageArtifact", "StageStats", "SupportsArtifactStore",
     "Stage", "StageRecord",
     "CompilePipeline", "FrontendStage", "OptimizeStage", "BackendStage",
-    "EncodeStage", "TraceStage", "global_compile_pipeline",
+    "EncodeStage", "TraceStage", "NativeStage", "global_compile_pipeline",
     "reset_global_compile_pipeline", "rebind_compiled",
     "source_fingerprint", "opt_fingerprint", "machine_backend_fingerprint",
     "backend_fingerprint", "encode_fingerprint", "trace_fingerprint",
+    "native_fingerprint",
 ]

@@ -61,6 +61,11 @@ PIPELINE_SCHEMA = 1
 #: an older schema can never be served after a bump).
 TRACE_SCHEMA = 1
 
+#: bump when the native engine's rendered C / runtime contract changes
+#: incompatibly (part of the native stage's key, so persisted shared
+#: objects from an older schema can never be loaded after a bump).
+NATIVE_SCHEMA = 1
+
 
 def _digest(*parts: object) -> str:
     """SHA-256 hex digest over a canonical joining of ``parts``."""
@@ -138,3 +143,15 @@ def trace_fingerprint(module_fp: str, entry: str, args_key: str) -> str:
 def encode_fingerprint(backend_key: str) -> str:
     """Key of the ``encode`` stage (fully determined by the backend key)."""
     return _digest("encode", PIPELINE_SCHEMA, backend_key)
+
+
+def native_fingerprint(module_fp: str, abi_id: str) -> str:
+    """Key of the ``native`` stage: structural IR hash × toolchain ABI.
+
+    ``abi_id`` comes from :meth:`repro.exec.native.NativeToolchain.abi_id`
+    and covers the compiler identity/version, flags, platform and the
+    renderer schema, so a shared :class:`DiskArtifactStore` never serves a
+    ``.so`` built by an incompatible toolchain.
+    """
+    return _digest("native", PIPELINE_SCHEMA, NATIVE_SCHEMA, module_fp,
+                   abi_id)

@@ -6,7 +6,9 @@ declares ``role: worker``, and then serves framed tasks one at a time:
 
 * ``request`` — execute one full API request on the worker's private
   :class:`~repro.api.Session` (which shares the fleet-wide
-  :class:`~repro.service.diskstore.DiskArtifactStore`), stamping the
+  :class:`~repro.service.diskstore.DiskArtifactStore` — including the
+  native engine's compiled ``.so`` artifacts, so one worker's JIT
+  compile serves every worker), stamping the
   worker id into the response provenance;
 * ``matrix`` — one machine's column of an N×M matrix, with per-cell
   memoization in the shared store (stage :data:`~repro.service.tasks.CELL_STAGE`)

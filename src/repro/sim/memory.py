@@ -80,11 +80,51 @@ class Memory:
     # ------------------------------------------------------------------
     # Bulk access (arrays).
     # ------------------------------------------------------------------
+
+    #: struct codes for full-width integer elements (bulk fast path).
+    _INT_CODES = {(8, True): "b", (8, False): "B", (16, True): "h",
+                  (16, False): "H", (32, True): "i", (32, False): "I",
+                  (64, True): "q", (64, False): "Q"}
+
+    def _bulk_code(self, element: Type) -> Optional[str]:
+        """One-element struct code when the scalar path is pure pack/unpack."""
+        if isinstance(element, FloatType) and element.bits in (32, 64):
+            return "f" if element.bits == 32 else "d"
+        if (isinstance(element, IntType)
+                and element.bits == 8 * element.size):
+            return self._INT_CODES.get((element.bits, element.signed))
+        if isinstance(element, PointerType):
+            return "I"
+        return None
+
     def write_array(self, address: int, values: Sequence, element: Type) -> None:
+        code = self._bulk_code(element)
+        if code and len(values) > 1:
+            nbytes = element.size
+            total = nbytes * len(values)
+            self._check(address, total)
+            if code in ("f", "d"):
+                packed = [float(v) for v in values]
+            else:
+                # store() masks to the element width, so out-of-range ints
+                # wrap instead of raising in struct.pack.
+                mask = (1 << 8 * nbytes) - 1
+                half = (mask + 1) >> 1 if code.islower() else 0
+                packed = [((int(v) & mask) ^ half) - half for v in values]
+            self.data[address:address + total] = struct.pack(
+                f"<{len(values)}{code}", *packed)
+            return
         for i, value in enumerate(values):
             self.store(address + i * element.size, value, element)
 
     def read_array(self, address: int, count: int, element: Type) -> List:
+        code = self._bulk_code(element)
+        if code and count > 1:
+            nbytes = element.size
+            total = nbytes * count
+            self._check(address, total)
+            return list(struct.unpack(
+                f"<{count}{code}", bytes(self.data[address:address + total])))
         return [self.load(address + i * element.size, element) for i in range(count)]
 
 

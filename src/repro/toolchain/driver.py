@@ -93,7 +93,8 @@ class Toolchain:
         self.unroll_factor = unroll_factor
         self.library = library if library is not None else global_extension_library()
         #: functional-execution engine used by run_reference:
-        #: "interpreter" (reference oracle) or "compiled" (threaded code).
+        #: "interpreter" (reference oracle), "compiled" (threaded code)
+        #: or "native" (generated C, degrading to compiled without a CC).
         self.engine = engine
         #: staged compile pipeline; the default service session's by
         #: default, so toolchains for different family members share the
@@ -143,12 +144,15 @@ class Toolchain:
     def run_reference(self, module: Module, entry: str, *args):
         """Run the functional simulator (machine independent).
 
-        Uses this toolchain's ``engine`` selection: the interpreter or the
-        compiled (threaded-code) engine — both produce identical results.
+        Uses this toolchain's ``engine`` selection: the interpreter, the
+        compiled (threaded-code) engine or the generated-C native engine —
+        all produce identical results.  Native ``.so`` artifacts are
+        shared through the pipeline's artifact store.
         """
         from ..exec.engine import make_functional_simulator
 
-        simulator = make_functional_simulator(module.clone(), engine=self.engine)
+        simulator = make_functional_simulator(module.clone(), engine=self.engine,
+                                              store=self.pipeline.store)
         return simulator.run(entry, *args)
 
     def compile_and_run(self, source: str, entry: str, *args,

@@ -131,9 +131,10 @@ def run_matrix(machines: Sequence[MachineDescription],
     """Compile and validate every kernel on every machine.
 
     ``engine`` selects the functional cross-check engine through the
-    unified registry ("interpreter" or "compiled"); ``pipeline`` injects
-    a staged compile pipeline (the default session's when None), so a
-    matrix sweep shares artifacts with whatever warmed the session.
+    unified registry ("interpreter", "compiled" or "native"); ``pipeline``
+    injects a staged compile pipeline (the default session's when None),
+    so a matrix sweep shares artifacts — including native ``.so``s — with
+    whatever warmed the session.
 
     ``fidelity`` selects the timing model: ``"cycle"`` executes every
     cell on the cycle simulator; ``"trace"`` profiles each kernel once
@@ -196,8 +197,8 @@ def run_matrix(machines: Sequence[MachineDescription],
                     cell.ipc = estimate.stats.ipc
                 else:
                     # Cross-check 1: functional simulation vs. the oracle.
-                    reference = make_functional_simulator(module.clone(),
-                                                          engine=engine)
+                    reference = make_functional_simulator(
+                        module.clone(), engine=engine, store=pipeline.store)
                     ref_value = reference.run(kernel.entry,
                                               *copy_run_args(args))
 

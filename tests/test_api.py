@@ -127,12 +127,26 @@ class TestRequestRoundTrips:
             "kind": "run", "schema_version": 1, "kernel": "crc32",
             "machine": {"issue_width": 2, "registers": 32},
             "size": 64, "seed": 9, "opt_level": 2, "engine": "interpreter",
+            "batch": None,
         }, sort_keys=True)
         request = request_from_json(golden)
         assert request == RunRequest(
             kernel="crc32", machine={"issue_width": 2, "registers": 32},
             size=64, seed=9, opt_level=2, engine="interpreter")
         assert request.to_json() == golden
+
+    def test_pre_batch_run_request_still_parses(self):
+        """Messages minted before the batch field existed stay valid."""
+        legacy = json.dumps({
+            "kind": "run", "schema_version": 1, "kernel": "crc32",
+            "machine": "vliw4", "size": 64, "seed": 9, "opt_level": 2,
+            "engine": "compiled",
+        })
+        request = request_from_json(legacy)
+        assert request.batch is None
+        assert request == RunRequest(kernel="crc32", machine="vliw4",
+                                     size=64, seed=9, opt_level=2,
+                                     engine="compiled")
 
     def test_unknown_fields_are_ignored(self):
         data = RunRequest(kernel="crc32").to_dict()
