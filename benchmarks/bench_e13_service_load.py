@@ -32,6 +32,7 @@ from pathlib import Path
 
 from repro.api import Session
 from repro.api.requests import MatrixRequest, RunRequest
+from repro.obs import snapshot_quantile, snapshot_value
 from repro.service import CELL_STAGE, ServiceClient, ServiceDaemon
 
 from conftest import print_table, run_once, shrink_knob
@@ -78,11 +79,11 @@ def _percentile(samples, fraction):
 
 
 def _cell_economics(stats):
-    hits = misses = 0
-    for worker_stats in stats["workers"].values():
-        stage = worker_stats.get(CELL_STAGE, {})
-        hits += int(stage.get("hits", 0))
-        misses += int(stage.get("misses", 0))
+    """Fleet-wide cell-memo hits/misses from the daemon's merged metrics
+    registry (worker registry snapshots ride home in result frames)."""
+    metrics = stats.get("metrics") or {}
+    hits = int(snapshot_value(metrics, "store_hits", stage=CELL_STAGE))
+    misses = int(snapshot_value(metrics, "store_misses", stage=CELL_STAGE))
     return hits, misses
 
 
@@ -162,6 +163,16 @@ def test_e13_service_load(benchmark, tmp_path, pytestconfig):
     misses = total_misses - warm_misses
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
 
+    # Queue economics straight from the daemon's metrics registry: how
+    # long jobs sat queued before a runner claimed them, and the build
+    # seconds the shared cell memo saved the fleet.
+    metrics = stats["metrics"]
+    queue_wait_p50 = snapshot_quantile(metrics, "queue_wait_seconds", 0.50)
+    queue_wait_p99 = snapshot_quantile(metrics, "queue_wait_seconds", 0.99)
+    jobs_done = snapshot_value(metrics, "jobs_finished", state="done")
+    cell_seconds_saved = snapshot_value(metrics, "store_seconds_saved",
+                                        stage=CELL_STAGE)
+
     for per_client in matrix_responses:
         for response in per_client:
             response.pop("provenance")
@@ -176,14 +187,19 @@ def test_e13_service_load(benchmark, tmp_path, pytestconfig):
         "rps": round(throughput, 1),
         "p50_ms": round(p50 * 1e3, 1),
         "p99_ms": round(p99 * 1e3, 1),
+        "qwait_p50_ms": round(queue_wait_p50 * 1e3, 1),
+        "qwait_p99_ms": round(queue_wait_p99 * 1e3, 1),
         "cell_hit%": round(100 * hit_rate, 1),
     }])
     print(f"\nE13 summary: {total_requests} mixed requests from {clients} "
           f"concurrent clients against one warm daemon ({workers} "
           f"{worker_mode} workers): {throughput:.1f} req/s, p50 "
-          f"{p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms; cold 42-cell "
+          f"{p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms; queue wait p50 "
+          f"{queue_wait_p50 * 1e3:.1f} ms / p99 {queue_wait_p99 * 1e3:.1f} "
+          f"ms over {jobs_done:.0f} jobs; cold 42-cell "
           f"matrix {warm_seconds:.2f} s; fleet cell-memo hit rate "
-          f"{100 * hit_rate:.1f}% ({hits} hits / {misses} misses); "
+          f"{100 * hit_rate:.1f}% ({hits} hits / {misses} misses, "
+          f"{cell_seconds_saved:.2f} build-seconds saved); "
           f"{matrix_count} full-matrix responses bit-identical to "
           f"Session.execute.")
 
@@ -201,9 +217,13 @@ def test_e13_service_load(benchmark, tmp_path, pytestconfig):
         "throughput_rps": round(throughput, 2),
         "latency_p50_s": round(p50, 5),
         "latency_p99_s": round(p99, 5),
+        "queue_wait_p50_s": round(queue_wait_p50, 5),
+        "queue_wait_p99_s": round(queue_wait_p99, 5),
+        "jobs_done": int(jobs_done),
         "cell_hits": hits,
         "cell_misses": misses,
         "cell_hit_rate": round(hit_rate, 4),
+        "cell_seconds_saved": round(cell_seconds_saved, 3),
         "matrix_responses_checked": matrix_count,
         "queue": stats["queue"],
         "store": {key: stats["store"][key]

@@ -235,3 +235,73 @@ def test_e9_execution_tiers(benchmark, pytestconfig):
         assert good * 2 >= len(batch_rows), (
             f"vector batch tier above {vector_floor}x on only "
             f"{good}/{len(batch_rows)} kernels")
+
+
+def test_e9_obs_off_overhead(benchmark, pytestconfig):
+    """``--obs off`` must add no measurable cost to the hot engine path.
+
+    Two measurements: the per-call cost of a would-be span when the
+    mode is ``off`` (one mode check, no allocation), and the warm
+    compiled-engine run time under ``off`` vs ``metrics`` — the tiers
+    benchmarked above must be unchanged when observability is disabled.
+    """
+    from repro.obs import global_tracer, obs_override, reset_global_tracer
+
+    repeats = max(shrink_knob(pytestconfig, "E9_REPEATS", 3, 1), 3)
+    kernel = get_kernel("dot_product")
+    module = compile_c(kernel.source, module_name="dot_product")
+    optimize(module, level=2)
+    args = kernel.arguments(256, seed=2026)
+    expected = kernel.expected(args)
+    cache = CodeCache()
+    cache.get_or_translate(module)
+
+    def timed_run(mode):
+        with obs_override(mode):
+            best = float("inf")
+            for _ in range(repeats):
+                simulator = CompiledSimulator(module, cache=cache)
+                run_args = tuple(list(a) if isinstance(a, list) else a
+                                 for a in args)
+                start = time.perf_counter()
+                value = simulator.run(kernel.entry, *run_args)
+                best = min(best, time.perf_counter() - start)
+            assert value == expected
+        return best
+
+    def experiment():
+        iterations = 20000
+        tracer = global_tracer()
+        with obs_override("off"):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                with tracer.span("bench"):
+                    pass
+            per_span_us = (time.perf_counter() - start) / iterations * 1e6
+        off_s = timed_run("off")
+        metrics_s = timed_run("metrics")
+        reset_global_tracer()
+        return per_span_us, off_s, metrics_s
+
+    per_span_us, off_s, metrics_s = run_once(benchmark, experiment)
+    print(f"\nE9 obs overhead: null span {per_span_us:.3f} us/call; warm "
+          f"compiled run {off_s * 1e3:.3f} ms (off) vs "
+          f"{metrics_s * 1e3:.3f} ms (metrics)")
+
+    if OUTPUT.exists():
+        baseline = json.loads(OUTPUT.read_text())
+        baseline["obs_overhead"] = {
+            "null_span_us": round(per_span_us, 3),
+            "warm_off_ms": round(off_s * 1e3, 3),
+            "warm_metrics_ms": round(metrics_s * 1e3, 3),
+        }
+        OUTPUT.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    # A disabled span is one mode check — far below a single simulated
+    # instruction.  The band is generous for noisy shared CI runners.
+    assert per_span_us < shrink_knob(pytestconfig, "E9_MAX_NULL_SPAN_US",
+                                     25.0, 25.0, cast=float)
+    # The off path must sit within noise of the uninstrumented engine
+    # (the hot run loop opens no spans and touches no counters).
+    assert off_s <= metrics_s * 1.5 + 1e-3, (
+        f"obs off slower than metrics mode: {off_s:.6f}s vs {metrics_s:.6f}s")

@@ -47,6 +47,10 @@ from .frontend import compile_c
 from .gen import WorkloadPopulation, WorkloadSpec, generate_kernel, sample_spec
 from .ir import IRBuilder, Module
 from .model import KernelTrace, RetimingModel, TraceEstimate, capture_trace
+from .obs import (
+    MetricsRegistry, ObsJournal, Tracer, global_tracer, obs_mode,
+    obs_override, render_prometheus, set_obs_mode,
+)
 from .opt import optimize
 from .pipeline import (
     ArtifactStore, CompilePipeline, global_compile_pipeline,
@@ -72,6 +76,8 @@ __all__ = [
     "WorkloadPopulation", "WorkloadSpec", "generate_kernel", "sample_spec",
     "IRBuilder", "Module",
     "KernelTrace", "RetimingModel", "TraceEstimate", "capture_trace",
+    "MetricsRegistry", "ObsJournal", "Tracer", "global_tracer", "obs_mode",
+    "obs_override", "render_prometheus", "set_obs_mode",
     "optimize",
     "ArtifactStore", "CompilePipeline", "global_compile_pipeline",
     "reset_global_compile_pipeline",

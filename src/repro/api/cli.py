@@ -84,6 +84,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="optimization level (session default: 2)")
     parser.add_argument("--workers", type=int, default=0,
                         help="process-pool width for batched fan-out")
+    _add_obs(parser)
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    from ..obs import OBS_MODES
+
+    parser.add_argument("--obs", default=None, choices=OBS_MODES,
+                        help="observability mode (default: metrics; "
+                             "trace adds spans + run manifests, off "
+                             "disables everything but store counters)")
+    parser.add_argument("--journal", metavar="FILE", default=None,
+                        help="append run manifests (JSONL) to FILE "
+                             "(default: $REPRO_OBS_JOURNAL)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +258,39 @@ def build_parser() -> argparse.ArgumentParser:
     cancel_p.add_argument("--pretty", action="store_true")
     _add_client(cancel_p)
 
+    stats_p = commands.add_parser(
+        "stats", help="export the typed metrics registry (JSON or "
+                      "Prometheus text)")
+    stats_p.add_argument("--endpoint", default=None,
+                         help="pull fleet-wide metrics from a running "
+                              "daemon (default: $REPRO_SERVICE_SOCKET, "
+                              "falling back to --journal / a fresh "
+                              "registry)")
+    stats_p.add_argument("--journal", metavar="FILE", default=None,
+                         help="read the latest metric snapshot from a "
+                              "run-manifest journal instead")
+    stats_p.add_argument("--format", default="json",
+                         choices=("json", "prometheus"),
+                         help="output format (default: json)")
+    stats_p.add_argument("--pretty", action="store_true")
+
+    inspect_p = commands.add_parser(
+        "inspect", help="render one trace (waterfall + summary) from a "
+                        "daemon or a journal file")
+    inspect_p.add_argument("trace_id", help="trace id (see "
+                           "provenance.trace_id in any traced response)")
+    inspect_p.add_argument("--endpoint", default=None,
+                           help="fetch the stitched trace from a running "
+                                "daemon (default: $REPRO_SERVICE_SOCKET)")
+    inspect_p.add_argument("--journal", metavar="FILE", default=None,
+                           help="read the trace from a run-manifest "
+                                "journal file (default: "
+                                "$REPRO_OBS_JOURNAL)")
+    inspect_p.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit the raw span/event JSON instead of "
+                                "the rendered waterfall")
+    inspect_p.add_argument("--pretty", action="store_true")
+
     return parser
 
 
@@ -373,15 +419,103 @@ def _service_main(args: argparse.Namespace) -> int:
     raise SchemaError(f"unknown command {args.command!r}")
 
 
+def _obs_main(args: argparse.Namespace) -> int:
+    import os
+
+    from ..obs import (
+        default_journal_path, journal_spans, latest_metrics, read_journal,
+        render_prometheus, render_trace_summary, render_waterfall,
+    )
+    from ..service.client import ENDPOINT_ENV
+
+    endpoint = args.endpoint or os.environ.get(ENDPOINT_ENV)
+
+    if args.command == "stats":
+        snapshot = None
+        if endpoint:
+            from ..service import ServiceClient, ServiceError
+
+            try:
+                with ServiceClient(endpoint, timeout=5.0) as client:
+                    snapshot = client.stats().get("metrics")
+            except ServiceError as exc:
+                if args.endpoint:  # explicit endpoint must work
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+        journal = args.journal or default_journal_path()
+        if snapshot is None and journal:
+            try:
+                snapshot = latest_metrics(read_journal(journal))
+            except OSError:
+                snapshot = None
+        if snapshot is None:
+            # Nothing persistent to report: a fresh Session's registry
+            # (mostly zeros, but the full metric families render).
+            with Session(name="stats") as session:
+                snapshot = session.metrics()
+        if args.format == "prometheus":
+            sys.stdout.write(render_prometheus(snapshot))
+        else:
+            _emit(args, snapshot)
+        return 0
+
+    if args.command == "inspect":
+        trace_id = args.trace_id
+        spans: List = []
+        events: List = []
+        if endpoint:
+            from ..service import ServiceClient, ServiceError
+
+            try:
+                with ServiceClient(endpoint, timeout=5.0) as client:
+                    reply = client.trace(trace_id)
+                spans = list(reply.get("spans") or [])
+                events = list(reply.get("events") or [])
+            except ServiceError as exc:
+                if args.endpoint:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+        if not spans and not events:
+            journal = args.journal or default_journal_path()
+            if not journal:
+                print("error: no --endpoint, $REPRO_SERVICE_SOCKET, "
+                      "--journal or $REPRO_OBS_JOURNAL to read the trace "
+                      "from", file=sys.stderr)
+                return 2
+            try:
+                events = read_journal(journal, trace_id=trace_id)
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            spans = journal_spans(events)
+        if not spans and not events:
+            print(f"error: trace {trace_id!r} not found", file=sys.stderr)
+            return 1
+        if args.as_json:
+            _emit(args, {"trace_id": trace_id, "spans": spans,
+                         "events": [dict(event) for event in events]})
+            return 0
+        sys.stdout.write(render_trace_summary(events, spans) + "\n")
+        if spans:
+            sys.stdout.write(render_waterfall(spans) + "\n")
+        return 0
+
+    raise SchemaError(f"unknown command {args.command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from ..frontend.c_frontend import CFrontendError
 
     args = build_parser().parse_args(argv)
     if args.command in ("serve", "submit", "status", "result", "cancel"):
         return _service_main(args)
+    if args.command in ("stats", "inspect"):
+        return _obs_main(args)
     try:
         request = _build_request(args)
-        with Session(workers=getattr(args, "workers", 0) or 0) as session:
+        with Session(workers=getattr(args, "workers", 0) or 0,
+                     obs=getattr(args, "obs", None),
+                     journal=getattr(args, "journal", None)) as session:
             response = session.execute(request)
     except (SchemaError, ValueError, KeyError, TypeError, OSError,
             CFrontendError) as exc:

@@ -122,6 +122,10 @@ class Provenance:
     #: id of the service worker that produced the response ("" when the
     #: request ran in-process rather than through a daemon's pool).
     worker: str = ""
+    #: id of the stitched trace that produced this response ("" when the
+    #: request ran with tracing off); feed it to ``python -m repro
+    #: inspect`` to see the waterfall.
+    trace_id: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -132,6 +136,7 @@ class Provenance:
             "stages": [dict(record) for record in self.stages],
             "cache": _plain(self.cache),
             "worker": self.worker,
+            "trace_id": self.trace_id,
         }
 
     @classmethod

@@ -43,6 +43,11 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..exec.cache import CodeCache
 from ..exec.registry import validate_engine
+from ..obs import (
+    ObsJournal, default_journal_path, global_tracer, metrics_enabled,
+    obs_override, validate_obs_mode,
+)
+from ..obs.metrics import MetricsRegistry
 from ..pipeline.compile import CompilePipeline
 from ..pipeline.store import ArtifactStore
 from .jobs import Job
@@ -76,7 +81,9 @@ class Session:
                  fidelity: str = "cycle",
                  opt_level: int = 2, unroll_factor: int = 4,
                  seed: int = 1234, size: Optional[int] = None,
-                 workers: int = 0) -> None:
+                 workers: int = 0,
+                 obs: Optional[str] = None,
+                 journal: Optional[Union[str, ObsJournal]] = None) -> None:
         if engine is None:
             # The env var lets compiler-equipped hosts opt whole script
             # runs and service daemons into the native tier without
@@ -113,6 +120,19 @@ class Session:
         self.size = size
         #: process-pool width for batched design-point fan-out.
         self.workers = workers
+        #: per-session observability mode override (None: env/global mode,
+        #: see :mod:`repro.obs`); applied around every :meth:`execute`.
+        self.obs = validate_obs_mode(obs) if obs is not None else None
+        if journal is None:
+            journal = default_journal_path()
+        #: where this session's run manifests go (None: no journal).
+        self.journal: Optional[ObsJournal] = (
+            journal if isinstance(journal, ObsJournal) or journal is None
+            else ObsJournal(str(journal)))
+        #: the session's metrics registry — the same one its store counts
+        #: into, so cache counters and request metrics export together.
+        self.registry: MetricsRegistry = getattr(
+            self.store, "registry", None) or MetricsRegistry()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._jobs: List[Job] = []
         self._lock = threading.Lock()
@@ -197,13 +217,69 @@ class Session:
     }
 
     def execute(self, request):
-        """Execute one request synchronously; returns its response."""
-        handler = self._HANDLERS.get(getattr(request, "kind", None))
+        """Execute one request synchronously; returns its response.
+
+        Observability wrapper around the per-kind handlers: opens the
+        ``session.<kind>`` span (a new root, or a child when the caller
+        — a worker, the daemon — already established trace context),
+        counts the request into the session registry, stamps
+        ``provenance.trace_id``, and journals a run manifest when this
+        span was the root of its trace.
+        """
+        kind = getattr(request, "kind", None)
+        handler = self._HANDLERS.get(kind)
         if handler is None:
             raise TypeError(
                 f"unsupported request {type(request).__name__!r}; known "
                 f"kinds: {', '.join(sorted(self._HANDLERS))}")
-        return getattr(self, handler)(request)
+        with obs_override(self.obs):
+            tracer = global_tracer()
+            is_root = tracer.current_context() is None
+            started = time.perf_counter()
+            with tracer.span(f"session.{kind}", session=self.name) as span:
+                response = getattr(self, handler)(request)
+                trace_id = span.trace_id
+            self._observe(request, response, kind,
+                          time.perf_counter() - started)
+            if trace_id:
+                provenance = getattr(response, "provenance", None)
+                if provenance is not None and not provenance.trace_id:
+                    provenance.trace_id = trace_id
+                if is_root and self.journal is not None:
+                    self._journal_manifest(request, response, kind, trace_id,
+                                           tracer)
+        return response
+
+    def _observe(self, request, response, kind: str, elapsed: float) -> None:
+        if not metrics_enabled():
+            return
+        labels = {"kind": kind}
+        self.registry.counter(
+            "session_requests", labels,
+            help="requests executed by the session").inc()
+        self.registry.histogram(
+            "request_seconds", labels,
+            help="end-to-end request latency").observe(elapsed)
+        engine = getattr(getattr(response, "provenance", None), "engine", "")
+        if engine:
+            self.registry.histogram(
+                "engine_run_seconds", {"engine": engine},
+                help="request latency by executing engine").observe(elapsed)
+
+    def _journal_manifest(self, request, response, kind: str,
+                          trace_id: str, tracer) -> None:
+        provenance = getattr(response, "provenance", None)
+        try:
+            request_dict = request.to_dict()
+        except Exception:  # noqa: BLE001 - manifests are best effort
+            request_dict = {"kind": kind}
+        self.journal.manifest(
+            kind=kind, trace_id=trace_id, source=f"session:{self.name}",
+            request=request_dict,
+            provenance=provenance.to_dict() if provenance is not None
+            else None,
+            spans=tracer.spans_for(trace_id),
+            metrics=self.registry.snapshot())
 
     def submit(self, request) -> Job:
         """Queue one request; returns a future-backed :class:`Job`."""
@@ -232,8 +308,29 @@ class Session:
         return list(self._jobs)
 
     def stats(self) -> Dict[str, Dict[str, object]]:
-        """Per-stage artifact-store counters (compile + evaluation)."""
+        """Deprecated: per-stage store counters in the legacy dict shape.
+
+        The numbers come straight from the session's metrics registry
+        (they are the same ``store_*`` series ``python -m repro stats``
+        exports); prefer :meth:`metrics` for the typed snapshot.
+        """
+        import warnings
+
+        warnings.warn(
+            "Session.stats() is deprecated; use Session.metrics() (typed "
+            "registry snapshot) or session.store.stats_dict()",
+            DeprecationWarning, stacklevel=2)
         return self.store.stats_dict()
+
+    def metrics(self) -> Dict[str, object]:
+        """A snapshot of the session's metrics registry.
+
+        Covers the per-stage store counters plus the request counters
+        and latency histograms; render it with
+        :func:`repro.obs.render_prometheus` or merge snapshots with
+        :func:`repro.obs.merge_snapshot`.
+        """
+        return self.registry.snapshot()
 
     def close(self) -> None:
         """Shut down the job executor (idempotent)."""

@@ -28,10 +28,12 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..dse.space import DesignPoint
+from ..obs import global_tracer
+from ..obs.metrics import MetricsRegistry
 from ..pipeline.store import ArtifactStore, SupportsArtifactStore
 
 #: bump when the evaluation recipe or on-disk format changes incompatibly
@@ -103,15 +105,52 @@ def _evaluate_point(point: DesignPoint):
         point.to_machine(), custom_area_budget=point.custom_area_budget)
 
 
-@dataclass
-class BatchStats:
-    """What one BatchEvaluator did so far."""
+#: the batch-evaluator counter names, as ``batch_<name>`` registry series.
+_BATCH_FIELDS = ("requested", "memory_hits", "disk_hits", "evaluated",
+                 "batches")
 
-    requested: int = 0
-    memory_hits: int = 0
-    disk_hits: int = 0
-    evaluated: int = 0
-    batches: int = 0
+_BATCH_HELP = {
+    "batch_requested": "design points requested from the batch evaluator",
+    "batch_memory_hits": "evaluations served from the memory layer",
+    "batch_disk_hits": "evaluations served from the disk layer",
+    "batch_evaluated": "design points actually evaluated",
+    "batch_batches": "evaluate_many calls",
+}
+
+
+class BatchStats:
+    """What one BatchEvaluator did so far — a registry-counter view.
+
+    Each evaluator counts into its own private
+    :class:`~repro.obs.MetricsRegistry` (evaluators routinely share a
+    store, so store-level aggregation would conflate them); the daemon
+    aggregates across workers by merging snapshots instead.
+    """
+
+    __slots__ = ("registry", "_counters")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        object.__setattr__(self, "registry", registry)
+        object.__setattr__(self, "_counters", {
+            name: registry.counter(f"batch_{name}",
+                                   help=_BATCH_HELP[f"batch_{name}"])
+            for name in _BATCH_FIELDS
+        })
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            counters[name].set(float(value))
+            return
+        raise AttributeError(f"BatchStats has no counter {name!r}")
 
     @property
     def hits(self) -> int:
@@ -125,6 +164,9 @@ class BatchStats:
         return {"requested": self.requested, "memory_hits": self.memory_hits,
                 "disk_hits": self.disk_hits, "evaluated": self.evaluated,
                 "batches": self.batches, "hit_rate": round(self.hit_rate, 4)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchStats({self.as_dict()!r})"
 
 
 class BatchEvaluator:
@@ -163,6 +205,14 @@ class BatchEvaluator:
 
     def evaluate_many(self, points: Sequence[DesignPoint]) -> List:
         """Evaluate ``points`` (order preserved, duplicates deduplicated)."""
+        with global_tracer().span("batch.evaluate", points=len(points),
+                                  workers=self.workers) as span:
+            results = self._evaluate_many(points)
+            span.note(evaluated=self.stats.evaluated,
+                      hit_rate=round(self.stats.hit_rate, 4))
+            return results
+
+    def _evaluate_many(self, points: Sequence[DesignPoint]) -> List:
         self.stats.batches += 1
         self.stats.requested += len(points)
 

@@ -20,13 +20,14 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..ir import (
     Argument, Constant, GlobalVariable, Module, Opcode, UndefValue,
     VirtualRegister,
 )
+from ..obs import global_tracer
+from ..obs.metrics import StageStats
 from .translator import TranslatedProgram, translate_module
 
 
@@ -98,13 +99,40 @@ def module_fingerprint(module: Module, library=None) -> str:
     return digest.hexdigest()
 
 
-@dataclass
-class CodeCacheStats:
-    """Hit/miss counters of one :class:`CodeCache`."""
+#: artifact-store stage name under which a bound CodeCache keeps its
+#: counters (so ``pipeline.stats()`` shows threaded-code cache pressure
+#: next to the staged-compilation stages).
+CODE_STAGE = "exec.code"
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+
+class CodeCacheStats:
+    """Hit/miss counters of one :class:`CodeCache`.
+
+    A view over a :class:`~repro.obs.metrics.StageStats` (itself a view
+    over registry counters): an unbound cache counts into a private
+    registry, a store-bound cache counts *directly* into the store's
+    ``exec.code`` stage — one counter, no mirror to drift.
+    """
+
+    _FIELDS = ("hits", "misses", "evictions")
+
+    __slots__ = ("_backing",)
+
+    def __init__(self, backing: Optional[StageStats] = None) -> None:
+        object.__setattr__(self, "_backing",
+                           backing if backing is not None
+                           else StageStats(stage=CODE_STAGE))
+
+    def __getattr__(self, name: str):
+        if name in CodeCacheStats._FIELDS:
+            return getattr(object.__getattribute__(self, "_backing"), name)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in CodeCacheStats._FIELDS:
+            setattr(object.__getattribute__(self, "_backing"), name, value)
+            return
+        object.__setattr__(self, name, value)
 
     @property
     def lookups(self) -> int:
@@ -119,39 +147,49 @@ class CodeCacheStats:
                 "evictions": self.evictions,
                 "hit_rate": round(self.hit_rate, 4)}
 
-
-#: artifact-store stage name under which a bound CodeCache mirrors its
-#: counters (so ``pipeline.stats()`` shows threaded-code cache pressure
-#: next to the staged-compilation stages).
-CODE_STAGE = "exec.code"
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CodeCacheStats({self.as_dict()!r})"
 
 
 class CodeCache:
     """An LRU cache mapping module fingerprints to translated programs.
 
     When bound to an artifact store (``store=`` or :meth:`bind_store`),
-    evictions are additionally counted on the owning store's
-    ``exec.code`` stage stats — parity with the disk store's
-    ``disk_evictions`` — so capacity pressure is visible in the same
-    per-stage tables the pipeline and the service report.
+    counters live on the owning store's ``exec.code`` stage stats — one
+    source of truth shared by ``cache.stats``, ``store.stats_dict()``
+    and ``Session.stats()``, so the eviction counts that used to be
+    mirrored (and could drift) are now literally the same number.
     """
 
     def __init__(self, capacity: Optional[int] = 256, store=None) -> None:
         self.capacity = capacity
         self.stats = CodeCacheStats()
-        self.store = store
+        self.store = None
         self._entries: "OrderedDict[str, TranslatedProgram]" = OrderedDict()
         self._lock = threading.Lock()
+        if store is not None:
+            self.bind_store(store)
 
     def bind_store(self, store) -> None:
-        """Mirror future eviction counts onto ``store``'s stage stats."""
-        self.store = store
+        """Count into ``store``'s ``exec.code`` stage stats from now on.
 
-    def _count_eviction(self) -> None:
-        # Caller holds the lock.
-        self.stats.evictions += 1
-        if self.store is not None:
-            self.store.stats(CODE_STAGE).evictions += 1
+        Counts accumulated while unbound migrate into the store's stage
+        so nothing is lost; the existing ``stats`` view object is
+        rebound in place, keeping held references valid.
+        """
+        self.store = store
+        if store is None:
+            return
+        target = store.stats(CODE_STAGE)
+        old = object.__getattribute__(self.stats, "_backing")
+        if old is target:
+            return
+        with self._lock:
+            for name in CodeCacheStats._FIELDS:
+                count = getattr(old, name)
+                if count:
+                    setattr(target, name, getattr(target, name) + count)
+            object.__setattr__(self.stats, "_backing", target)
 
     def get_or_translate(self, module: Module, library=None) -> TranslatedProgram:
         """Return the cached translation of ``module``, translating on miss."""
@@ -165,14 +203,16 @@ class CodeCache:
             self.stats.misses += 1
         # Translate outside the lock: translation is pure and an occasional
         # duplicate translation is cheaper than serializing translators.
-        program = translate_module(module, library=library)
+        with global_tracer().span("engine.translate",
+                                  fingerprint=fingerprint[:16]):
+            program = translate_module(module, library=library)
         program.fingerprint = fingerprint
         with self._lock:
             self._entries[fingerprint] = program
             self._entries.move_to_end(fingerprint)
             if self.capacity is not None and len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._count_eviction()
+                self.stats.evictions += 1
         return program
 
     def __len__(self) -> int:
@@ -182,9 +222,11 @@ class CodeCache:
         return fingerprint in self._entries
 
     def clear(self) -> None:
+        """Drop entries and zero the counters (in place — views survive)."""
         with self._lock:
             self._entries.clear()
-            self.stats = CodeCacheStats()
+            for name in CodeCacheStats._FIELDS:
+                setattr(self.stats, name, 0)
 
 
 #: process-wide cache used by CompiledSimulator unless one is supplied.

@@ -388,7 +388,10 @@ class NativeCodeCache:
                 self.stats.builds += 1
             return payload, record.hit
         self.stats.builds += 1
-        return self.toolchain.compile(rendered.source), False
+        from ..obs import global_tracer
+
+        with global_tracer().span("engine.compile", key=key[:16]):
+            return self.toolchain.compile(rendered.source), False
 
     def _load(self, key: str, rendered: RenderedProgram, so_bytes: bytes,
               from_store: bool, store) -> Optional[NativeProgram]:

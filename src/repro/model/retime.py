@@ -40,6 +40,7 @@ from ..arch.operations import OperationClass
 from ..arch.power import EnergyModel, custom_pj, operation_pj
 from ..backend.mcode import CompiledModule
 from ..ir import Opcode
+from ..obs import global_tracer
 from ..sim.cache import Cache, CacheStatistics
 from ..sim.cycle import CycleStatistics, SimulationResult
 
@@ -137,6 +138,15 @@ class RetimingModel:
         :class:`~repro.sim.functional.ExecutionProfile` when cache
         modelling is off).
         """
+        with global_tracer().span("model.price",
+                                  machine=machine.name) as span:
+            estimate = self._price(compiled, machine, trace)
+            span.note(cycles=estimate.cycles,
+                      error_bound=estimate.error_bound_cycles)
+            return estimate
+
+    def _price(self, compiled: CompiledModule,
+               machine: MachineDescription, trace) -> TraceEstimate:
         from ..core.library import global_extension_library
         from ..sim.cycle import CycleSimulator
 

@@ -155,10 +155,15 @@ def capture_trace(module: Module, entry: str, args,
     the functional-simulation oracle output.  ``args`` are copied before
     the run; callers keep their originals.
     """
-    simulator = _TracingSimulator(module, memory_size=memory_size,
-                                  max_steps=max_steps)
-    value = simulator.run(entry, *copy_run_args(args))
-    profile: ExecutionProfile = simulator.profile
+    from ..obs import global_tracer
+
+    with global_tracer().span("model.capture_trace", entry=entry) as span:
+        simulator = _TracingSimulator(module, memory_size=memory_size,
+                                      max_steps=max_steps)
+        value = simulator.run(entry, *copy_run_args(args))
+        profile: ExecutionProfile = simulator.profile
+        span.note(instructions=profile.instructions_executed,
+                  accesses=len(simulator.memory.accesses))
     from ..pipeline.fingerprints import trace_fingerprint
 
     return KernelTrace(

@@ -1,0 +1,131 @@
+"""``repro.obs`` — tracing, metrics, and run manifests.
+
+The observability substrate under every layer of the stack: a
+zero-dependency span tracer (:mod:`repro.obs.trace`), a typed metrics
+registry (:mod:`repro.obs.metrics`) that is the single source of truth
+for the counters the store/code-cache/session/daemon report, and JSONL
+run manifests (:mod:`repro.obs.journal`) behind ``python -m repro
+inspect``.
+
+Three modes, cheapest first (``REPRO_OBS`` env, ``Session(obs=...)``,
+or the CLI ``--obs`` flag):
+
+* ``off``     — no spans, no request metrics, no journal.  The
+  functional per-stage store counters still count (tests and cache
+  economics rely on them); the only added cost on hot paths is one
+  mode check per would-be span (~1 µs, asserted in bench_e9).
+* ``metrics`` — the default.  Request counters and latency histograms
+  are recorded into the session/daemon registry; still no spans.
+* ``trace``   — everything: spans with cross-process stitching, and
+  journal manifests when a journal is configured
+  (``Session(journal=...)``, ``--journal``, or ``REPRO_OBS_JOURNAL``).
+
+Mode resolution order: the innermost :func:`obs_override` context on
+this thread, then :func:`set_obs_mode`, then the environment, then the
+default (``metrics``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Iterator, Optional
+
+#: the three observability modes, cheapest first.
+OBS_MODES = ("off", "metrics", "trace")
+
+#: environment knob selecting the process-wide default mode.
+OBS_ENV = "REPRO_OBS"
+
+#: environment knob naming a default journal file (JSONL manifests).
+JOURNAL_ENV = "REPRO_OBS_JOURNAL"
+
+_DEFAULT_MODE = "metrics"
+
+_tls = threading.local()
+_process_mode: Optional[str] = None
+
+
+def validate_obs_mode(mode: str) -> str:
+    if mode not in OBS_MODES:
+        raise ValueError(
+            f"obs mode must be one of {', '.join(OBS_MODES)}, not {mode!r}")
+    return mode
+
+
+def obs_mode() -> str:
+    """The effective mode: thread override > set_obs_mode > env > default."""
+    stack = getattr(_tls, "modes", None)
+    if stack:
+        return stack[-1]
+    if _process_mode is not None:
+        return _process_mode
+    env = os.environ.get(OBS_ENV)
+    if env in OBS_MODES:
+        return env
+    return _DEFAULT_MODE
+
+
+def set_obs_mode(mode: Optional[str]) -> None:
+    """Pin the process-wide mode (None returns control to the env)."""
+    global _process_mode
+    _process_mode = validate_obs_mode(mode) if mode is not None else None
+
+
+@contextlib.contextmanager
+def obs_override(mode: Optional[str]) -> Iterator[None]:
+    """Thread-local mode override (how per-Session modes coexist)."""
+    if mode is None:
+        yield
+        return
+    validate_obs_mode(mode)
+    stack = getattr(_tls, "modes", None)
+    if stack is None:
+        stack = _tls.modes = []
+    stack.append(mode)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def metrics_enabled() -> bool:
+    return obs_mode() != "off"
+
+
+def tracing_enabled() -> bool:
+    return obs_mode() == "trace"
+
+
+def default_journal_path() -> Optional[str]:
+    """The journal file named by ``REPRO_OBS_JOURNAL``, if any."""
+    return os.environ.get(JOURNAL_ENV) or None
+
+
+from .metrics import (  # noqa: E402 - the mode machinery must exist first
+    DEFAULT_BUCKETS, METRICS_SCHEMA_VERSION, Counter, Gauge, Histogram,
+    MetricsRegistry, StageStats, merge_snapshot, quantile_from_buckets,
+    render_prometheus, snapshot_quantile, snapshot_series, snapshot_value,
+)
+from .trace import (  # noqa: E402
+    NULL_SPAN, Span, Tracer, global_tracer, reset_global_tracer,
+)
+from .journal import (  # noqa: E402
+    JOURNAL_SCHEMA_VERSION, ObsJournal, journal_spans, latest_metrics,
+    read_journal, render_trace_summary, render_waterfall, span_depth,
+)
+
+__all__ = [
+    "OBS_MODES", "OBS_ENV", "JOURNAL_ENV",
+    "obs_mode", "set_obs_mode", "obs_override", "validate_obs_mode",
+    "metrics_enabled", "tracing_enabled", "default_journal_path",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "StageStats",
+    "DEFAULT_BUCKETS", "METRICS_SCHEMA_VERSION",
+    "merge_snapshot", "quantile_from_buckets", "render_prometheus",
+    "snapshot_quantile", "snapshot_series", "snapshot_value",
+    "Span", "Tracer", "NULL_SPAN", "global_tracer", "reset_global_tracer",
+    "ObsJournal", "JOURNAL_SCHEMA_VERSION", "read_journal",
+    "journal_spans", "latest_metrics", "render_waterfall",
+    "render_trace_summary", "span_depth",
+]

@@ -1,0 +1,256 @@
+"""Run manifests: provenance-complete JSONL event records.
+
+An :class:`ObsJournal` is an append-only ``.jsonl`` file of manifest
+events.  Each event ties one traced request to everything needed to
+account for (and eventually replay) it: the request JSON, the stage
+fingerprints from its provenance, the engine/fidelity that served it,
+the stitched span tree, and a metrics snapshot at completion time.
+Sessions journal their root requests; the daemon journals every job it
+finishes (plus ``spans`` events for client-side spans stitched in after
+the fact).
+
+``python -m repro inspect <trace_id>`` reads a journal (or asks a live
+daemon) and renders the trace as a waterfall — see
+:func:`render_waterfall` / :func:`render_trace_summary`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional
+
+#: journal event format version; bump on breaking change.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class ObsJournal:
+    """Append-only JSONL sink of manifest events (thread-safe)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def write(self, event: Mapping[str, object]) -> None:
+        line = json.dumps(dict(event), sort_keys=True, default=str)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def manifest(self, *, kind: str, trace_id: str, source: str,
+                 request: Optional[Mapping[str, object]] = None,
+                 provenance: Optional[Mapping[str, object]] = None,
+                 spans: Optional[List[Mapping[str, object]]] = None,
+                 metrics: Optional[Mapping[str, object]] = None,
+                 extra: Optional[Mapping[str, object]] = None) -> None:
+        """Append one provenance-complete manifest event."""
+        event: Dict[str, object] = {
+            "event": "manifest", "schema_version": JOURNAL_SCHEMA_VERSION,
+            "ts": time.time(), "kind": kind, "trace_id": trace_id,
+            "source": source,
+        }
+        if request is not None:
+            event["request"] = dict(request)
+        if provenance is not None:
+            event["provenance"] = dict(provenance)
+        if spans is not None:
+            event["spans"] = [dict(span) for span in spans]
+        if metrics is not None:
+            event["metrics"] = dict(metrics)
+        if extra:
+            event.update(dict(extra))
+        self.write(event)
+
+    def spans(self, trace_id: str,
+              spans: List[Mapping[str, object]], source: str) -> None:
+        """Append late-arriving spans for an already-journaled trace."""
+        self.write({"event": "spans",
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                    "ts": time.time(), "trace_id": trace_id,
+                    "source": source,
+                    "spans": [dict(span) for span in spans]})
+
+
+def read_journal(path: str,
+                 trace_id: Optional[str] = None) -> List[Dict[str, object]]:
+    """Events from a journal file, optionally filtered by trace id.
+
+    Torn/corrupt lines are skipped (the journal is append-only and
+    best-effort by design).
+    """
+    events: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                if trace_id is not None and event.get("trace_id") != trace_id:
+                    continue
+                events.append(event)
+    except OSError:
+        return []
+    return events
+
+
+def journal_spans(events: Iterable[Mapping[str, object]]
+                  ) -> List[Dict[str, object]]:
+    """Union of the spans of every event, deduplicated by span id."""
+    seen = set()
+    spans: List[Dict[str, object]] = []
+    for event in events:
+        for span in event.get("spans", []) or []:
+            span_id = span.get("span_id")
+            if span_id in seen:
+                continue
+            seen.add(span_id)
+            spans.append(dict(span))
+    return spans
+
+
+def latest_metrics(events: Iterable[Mapping[str, object]]
+                   ) -> Optional[Dict[str, object]]:
+    """The metrics snapshot of the newest manifest that carries one.
+
+    Snapshots are cumulative, so the latest one *is* the aggregate —
+    merging successive snapshots from one source would double count.
+    """
+    newest: Optional[Dict[str, object]] = None
+    newest_ts = float("-inf")
+    for event in events:
+        metrics = event.get("metrics")
+        if isinstance(metrics, dict) and metrics.get("series"):
+            ts = float(event.get("ts", 0.0))
+            if ts >= newest_ts:
+                newest, newest_ts = dict(metrics), ts
+    return newest
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+# ----------------------------------------------------------------------
+
+def _span_tree(spans: List[Mapping[str, object]]):
+    by_id = {span.get("span_id"): span for span in spans}
+    children: Dict[Optional[str], List[Mapping[str, object]]] = {}
+    roots: List[Mapping[str, object]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)  # orphan parents live in another journal
+    ordering = lambda s: float(s.get("start_ts", 0.0))  # noqa: E731
+    roots.sort(key=ordering)
+    for siblings in children.values():
+        siblings.sort(key=ordering)
+    return roots, children
+
+
+def span_depth(spans: List[Mapping[str, object]]) -> int:
+    """Maximum parent-chain depth of the span set (1 = roots only)."""
+    roots, children = _span_tree(spans)
+
+    def depth(span, level: int) -> int:
+        kids = children.get(span.get("span_id"), [])
+        if not kids:
+            return level
+        return max(depth(kid, level + 1) for kid in kids)
+
+    return max((depth(root, 1) for root in roots), default=0)
+
+
+def render_waterfall(spans: List[Mapping[str, object]],
+                     width: int = 32) -> str:
+    """ASCII waterfall of a span tree (wall-clock aligned)."""
+    if not spans:
+        return "(no spans)"
+    roots, children = _span_tree(spans)
+    t0 = min(float(s.get("start_ts", 0.0)) for s in spans)
+    t1 = max(float(s.get("start_ts", 0.0)) + float(s.get("seconds", 0.0))
+             for s in spans)
+    total = max(t1 - t0, 1e-9)
+    name_width = max(len(str(s.get("name", ""))) + 2 * _level(s, spans)
+                     for s in spans) + 2
+
+    lines = [f"trace {spans[0].get('trace_id', '')}  "
+             f"({len(spans)} spans, {total * 1e3:.1f} ms)"]
+
+    def emit(span, level: int) -> None:
+        start = float(span.get("start_ts", 0.0)) - t0
+        seconds = float(span.get("seconds", 0.0))
+        left = int(width * start / total)
+        bar = max(1, int(width * seconds / total))
+        bar = min(bar, width - left) or 1
+        lane = " " * left + "█" * bar
+        label = "  " * level + str(span.get("name", "?"))
+        status = "" if span.get("status") == "ok" else "  !" + str(
+            span.get("status"))
+        lines.append(f"  {label:<{name_width}} |{lane:<{width}}| "
+                     f"{seconds * 1e3:9.2f} ms{status}")
+        for kid in children.get(span.get("span_id"), []):
+            emit(kid, level + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _level(span, spans) -> int:
+    by_id = {s.get("span_id"): s for s in spans}
+    level, current, hops = 0, span, 0
+    while current is not None and hops < 64:
+        parent = by_id.get(current.get("parent_id"))
+        if parent is None:
+            break
+        level += 1
+        current = parent
+        hops += 1
+    return level
+
+
+def render_trace_summary(events: List[Mapping[str, object]],
+                         spans: List[Mapping[str, object]]) -> str:
+    """One-paragraph summary table for ``python -m repro inspect``."""
+    lines: List[str] = []
+    manifest = next((e for e in events if e.get("event") == "manifest"), None)
+    if manifest is not None:
+        request = manifest.get("request") or {}
+        provenance = manifest.get("provenance") or {}
+        lines.append(f"kind      : {manifest.get('kind', '?')}")
+        lines.append(f"source    : {manifest.get('source', '?')}")
+        if request:
+            lines.append(f"request   : "
+                         f"{json.dumps(request, sort_keys=True)[:100]}")
+        if provenance:
+            lines.append(f"engine    : {provenance.get('engine', '')!r}  "
+                         f"fidelity: {provenance.get('fidelity', '')!r}  "
+                         f"worker: {provenance.get('worker', '')!r}")
+            stages = provenance.get("stages") or []
+            hits = sum(1 for s in stages if s.get("hit"))
+            if stages:
+                lines.append(f"stages    : {len(stages)} "
+                             f"({hits} hits / {len(stages) - hits} misses)")
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(str(span.get("name", "?")), []).append(
+            float(span.get("seconds", 0.0)))
+    if by_name:
+        lines.append(f"spans     : {len(spans)} across {len(by_name)} "
+                     f"names, depth {span_depth(spans)}")
+        for name in sorted(by_name, key=lambda n: -sum(by_name[n]))[:8]:
+            samples = by_name[name]
+            lines.append(f"  {name:<28} n={len(samples):<4} "
+                         f"total {sum(samples) * 1e3:9.2f} ms")
+    return "\n".join(lines) if lines else "(no manifest)"

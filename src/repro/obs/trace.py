@@ -1,0 +1,238 @@
+"""Zero-dependency span tracer with cross-process stitching.
+
+A :class:`Span` is one timed unit of work: monotonic-clock duration,
+wall-clock start (so spans from different processes order on a shared
+axis), a ``trace_id`` shared by everything one request caused, and a
+``parent_id`` forming the tree.  The :class:`Tracer` keeps a per-thread
+context stack, so nested ``with tracer.span(...)`` blocks parent
+automatically, and :meth:`Tracer.adopt` grafts local spans under a
+remote parent — that is how one ``trace_id`` travels client → daemon →
+worker → pipeline stage over the framed wire protocol.
+
+Finished spans collect in a bounded per-trace buffer; workers drain
+theirs with :meth:`Tracer.take` and ship the dicts back inside result
+frames, the daemon :meth:`Tracer.ingest`\\ s them, and the stitched tree
+lands in the :mod:`repro.obs.journal` manifest.
+
+When the observability mode is not ``trace`` (see :mod:`repro.obs`),
+:meth:`Tracer.span` yields a shared no-op span and records nothing —
+the ``off`` path is one mode check per call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from . import tracing_enabled
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+class Span:
+    """One timed, attributed unit of work inside a trace."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_ts",
+                 "seconds", "status", "attrs", "_start_monotonic")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str] = None,
+                 attrs: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ts = time.time()
+        self._start_monotonic = time.monotonic()
+        self.seconds = 0.0
+        self.status = "ok"
+        self.attrs: Dict[str, object] = dict(attrs or {})
+
+    def note(self, **attrs: object) -> None:
+        """Attach attributes to the span (no-op on the null span)."""
+        self.attrs.update(attrs)
+
+    def finish(self) -> None:
+        self.seconds = time.monotonic() - self._start_monotonic
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "trace_id": self.trace_id,
+                "span_id": self.span_id, "parent_id": self.parent_id,
+                "start_ts": self.start_ts,
+                "seconds": round(self.seconds, 9),
+                "status": self.status, "attrs": dict(self.attrs)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+                f"span={self.span_id[:8]}, parent="
+                f"{(self.parent_id or '')[:8] or None})")
+
+
+class _NullSpan:
+    """The shared do-nothing span yielded when tracing is off."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    status = "ok"
+
+    def note(self, **attrs: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _RemoteContext:
+    """A context-stack entry standing in for a span in another process."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+
+class Tracer:
+    """Thread-aware span factory + bounded per-trace collector."""
+
+    def __init__(self, max_traces: int = 256,
+                 max_spans_per_trace: int = 4096) -> None:
+        self.max_traces = max_traces
+        self.max_spans_per_trace = max_spans_per_trace
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        #: trace_id -> finished span dicts, LRU-bounded.
+        self._traces: "OrderedDict[str, List[Dict[str, object]]]" = \
+            OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Context plumbing.
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_context(self) -> Optional[Dict[str, str]]:
+        """``{"trace_id", "span_id"}`` of the active span, or None."""
+        stack = self._stack()
+        if not stack:
+            return None
+        top = stack[-1]
+        return {"trace_id": top.trace_id, "span_id": top.span_id}
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[object]:
+        """Open a child span of the current context (or a new root)."""
+        if not tracing_enabled():
+            yield NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        trace_id = parent.trace_id if parent else _new_id(16)
+        span = Span(name, trace_id, _new_id(8),
+                    parent_id=parent.span_id if parent else None,
+                    attrs=attrs or None)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            stack.pop()
+            span.finish()
+            self._record(span.to_dict())
+
+    @contextlib.contextmanager
+    def adopt(self, trace_id: str, span_id: str) -> Iterator[None]:
+        """Make spans opened inside children of a remote span."""
+        if not trace_id:
+            yield
+            return
+        stack = self._stack()
+        stack.append(_RemoteContext(str(trace_id), str(span_id or "")))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    # The collector.
+    # ------------------------------------------------------------------
+    def _record(self, span_dict: Dict[str, object]) -> None:
+        trace_id = str(span_dict.get("trace_id") or "")
+        if not trace_id:
+            return
+        with self._lock:
+            spans = self._traces.get(trace_id)
+            if spans is None:
+                spans = self._traces[trace_id] = []
+            if len(spans) < self.max_spans_per_trace:
+                spans.append(span_dict)
+            self._traces.move_to_end(trace_id)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+
+    def ingest(self, spans: Optional[List[Mapping[str, object]]]) -> int:
+        """Adopt foreign span dicts (worker results, client stitching)."""
+        count = 0
+        for span_dict in spans or []:
+            if not isinstance(span_dict, Mapping):
+                continue
+            data = dict(span_dict)
+            trace_id = str(data.get("trace_id") or "")
+            span_id = str(data.get("span_id") or "")
+            if not trace_id or not span_id:
+                continue
+            with self._lock:
+                existing = self._traces.get(trace_id, [])
+                if any(s.get("span_id") == span_id for s in existing):
+                    continue
+            self._record(data)
+            count += 1
+        return count
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, object]]:
+        """Finished spans of ``trace_id`` collected so far (copies)."""
+        with self._lock:
+            return [dict(span) for span in self._traces.get(trace_id, [])]
+
+    def take(self, trace_id: str) -> List[Dict[str, object]]:
+        """Drain and return the finished spans of ``trace_id``."""
+        with self._lock:
+            return list(self._traces.pop(trace_id, []))
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+
+#: the process-wide tracer every instrumented layer shares.
+_GLOBAL_TRACER = Tracer()
+
+
+def global_tracer() -> Tracer:
+    """The process-wide tracer (workers, daemon, sessions share it)."""
+    return _GLOBAL_TRACER
+
+
+def reset_global_tracer() -> None:
+    """Drop collected spans and contexts (tests and benchmarks)."""
+    global _GLOBAL_TRACER
+    _GLOBAL_TRACER = Tracer()

@@ -39,6 +39,7 @@ from ..backend.mcode import CompiledFunction, CompiledModule
 from ..exec.cache import module_fingerprint
 from ..frontend import compile_c
 from ..ir import Module
+from ..obs import global_tracer
 from ..opt import optimize
 from .fingerprints import (
     backend_fingerprint, encode_fingerprint, opt_fingerprint,
@@ -264,21 +265,30 @@ class CompilePipeline:
         sweep consults exactly one stage per kernel.
         """
         stage = self.optimize_stage
-        frontend_key = self.frontend_stage.key(source, name)
-        opt_key = stage.key(None, frontend_key, opt_level, unroll_factor)
-        cached = self.store.get(stage.name, opt_key)
-        if cached is not None:
-            record = StageRecord(stage=stage.name, key=opt_key, hit=True,
-                                 seconds=cached.seconds)
-            return stage.replicate(cached.payload), [record]
-        raw, front_record = self.frontend(source, name)
-        start = time.perf_counter()
-        module = stage.build(raw, frontend_key, opt_level, unroll_factor)
-        seconds = time.perf_counter() - start
-        self.store.put(stage.name, opt_key, module, seconds=seconds)
-        opt_record = StageRecord(stage=stage.name, key=opt_key, hit=False,
-                                 seconds=seconds)
-        return stage.replicate(module), [front_record, opt_record]
+        tracer = global_tracer()
+        with tracer.span("pipeline.front", module=name, opt_level=opt_level):
+            frontend_key = self.frontend_stage.key(source, name)
+            opt_key = stage.key(None, frontend_key, opt_level, unroll_factor)
+            # The short-circuit hit path bypasses Stage.run, so it opens
+            # its own stage.optimize span to keep the trace uniform.
+            with tracer.span("stage.optimize") as span:
+                cached = self.store.get(stage.name, opt_key)
+                if cached is not None:
+                    span.note(key=opt_key[:16], hit=True,
+                              source=cached.source)
+                    record = StageRecord(stage=stage.name, key=opt_key,
+                                         hit=True, seconds=cached.seconds)
+                    return stage.replicate(cached.payload), [record]
+                raw, front_record = self.frontend(source, name)
+                start = time.perf_counter()
+                module = stage.build(raw, frontend_key, opt_level,
+                                     unroll_factor)
+                seconds = time.perf_counter() - start
+                self.store.put(stage.name, opt_key, module, seconds=seconds)
+                span.note(key=opt_key[:16], hit=False)
+            opt_record = StageRecord(stage=stage.name, key=opt_key, hit=False,
+                                     seconds=seconds)
+            return stage.replicate(module), [front_record, opt_record]
 
     def native(self, module: Module):
         """Load (or compile) ``module``'s native program via this store.

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..obs import global_tracer
 from .store import ArtifactStore
 
 
@@ -70,17 +71,20 @@ class Stage:
 
     def run(self, store: ArtifactStore, *inputs) -> Tuple[object, StageRecord]:
         """Look up or build the artifact for ``inputs``."""
-        key = self.key(*inputs)
-        artifact = store.get(self.name, key, persist=self.persist)
-        if artifact is not None:
-            return (self.replicate(artifact.payload, *inputs),
-                    StageRecord(stage=self.name, key=key, hit=True,
-                                seconds=artifact.seconds))
-        start = time.perf_counter()
-        payload = self.build(*inputs)
-        seconds = time.perf_counter() - start
-        store.put(self.name, key, payload, seconds=seconds,
-                  persist=self.persist)
-        return (self.replicate(payload, *inputs),
-                StageRecord(stage=self.name, key=key, hit=False,
-                            seconds=seconds))
+        with global_tracer().span(f"stage.{self.name}") as span:
+            key = self.key(*inputs)
+            artifact = store.get(self.name, key, persist=self.persist)
+            if artifact is not None:
+                span.note(key=key[:16], hit=True, source=artifact.source)
+                return (self.replicate(artifact.payload, *inputs),
+                        StageRecord(stage=self.name, key=key, hit=True,
+                                    seconds=artifact.seconds))
+            start = time.perf_counter()
+            payload = self.build(*inputs)
+            seconds = time.perf_counter() - start
+            store.put(self.name, key, payload, seconds=seconds,
+                      persist=self.persist)
+            span.note(key=key[:16], hit=False)
+            return (self.replicate(payload, *inputs),
+                    StageRecord(stage=self.name, key=key, hit=False,
+                                seconds=seconds))

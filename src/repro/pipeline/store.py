@@ -10,10 +10,13 @@ An :class:`ArtifactStore` maps ``(stage, key)`` to a
   processes.  Disk I/O is best effort: a corrupt or unpicklable entry is
   simply a miss.
 
-The store is the single source of truth for cache statistics: every
-lookup and insert updates the per-stage :class:`StageStats`, which the
-compile pipeline surfaces in ``CompileReport`` and the benchmarks print
-as hit-rate tables.
+Cache statistics live in the store's :class:`~repro.obs.MetricsRegistry`
+as ``store_*{stage=...}`` counters; :class:`StageStats` (defined in
+:mod:`repro.obs.metrics`, re-exported here) is a per-stage *view* over
+them keeping the historical mutable-attribute surface.  The compile
+pipeline surfaces these in ``CompileReport``, the benchmarks print them
+as hit-rate tables, and ``python -m repro stats`` exports the same
+numbers as Prometheus text — one source of truth.
 """
 
 from __future__ import annotations
@@ -22,8 +25,10 @@ import os
 import pickle
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Protocol, runtime_checkable
+
+from ..obs.metrics import MetricsRegistry, StageStats
 
 
 @dataclass
@@ -48,44 +53,6 @@ class StageArtifact:
     #: payload), so the field is provenance for the caller that received
     #: it, never shared mutable state.
     source: str = "built"
-
-
-@dataclass
-class StageStats:
-    """Hit/miss counters for one stage of one store."""
-
-    hits: int = 0
-    disk_hits: int = 0
-    misses: int = 0
-    puts: int = 0
-    evictions: int = 0
-    #: disk entries dropped by a size-budget sweep (disk-backed stores).
-    disk_evictions: int = 0
-    #: disk entries whose content fingerprint did not match (quarantined).
-    corrupt: int = 0
-    #: wall-clock spent building artifacts on misses.
-    seconds_built: float = 0.0
-    #: build seconds avoided by serving hits from the store.
-    seconds_saved: float = 0.0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.disk_hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        lookups = self.lookups
-        return 0.0 if lookups == 0 else (self.hits + self.disk_hits) / lookups
-
-    def as_dict(self) -> Dict[str, object]:
-        return {"hits": self.hits, "disk_hits": self.disk_hits,
-                "misses": self.misses, "puts": self.puts,
-                "evictions": self.evictions,
-                "disk_evictions": self.disk_evictions,
-                "corrupt": self.corrupt,
-                "hit_rate": round(self.hit_rate, 4),
-                "seconds_built": round(self.seconds_built, 6),
-                "seconds_saved": round(self.seconds_saved, 6)}
 
 
 @runtime_checkable
@@ -118,11 +85,14 @@ class ArtifactStore:
     """Two-layer (memory LRU + optional disk) content-addressed store."""
 
     def __init__(self, capacity: Optional[int] = 1024,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.capacity = capacity
         self.cache_dir = cache_dir
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+        #: where the counters actually live (``store_*{stage=...}``).
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: "OrderedDict[tuple, StageArtifact]" = OrderedDict()
         self._stats: Dict[str, StageStats] = {}
         self._lock = threading.Lock()
@@ -130,16 +100,27 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Statistics.
     # ------------------------------------------------------------------
+    def _stage_stats(self, stage: str) -> StageStats:
+        # Lock-free view lookup; callers may already hold self._lock.
+        stats = self._stats.get(stage)
+        if stats is None:
+            stats = self._stats[stage] = StageStats(self.registry, stage)
+        return stats
+
     def stats(self, stage: str) -> StageStats:
         """Counters for ``stage`` (created on first use)."""
         with self._lock:
-            return self._stats.setdefault(stage, StageStats())
+            return self._stage_stats(stage)
 
     def stats_dict(self) -> Dict[str, Dict[str, object]]:
         """All per-stage counters, for reports and benchmarks."""
         with self._lock:
             return {stage: stats.as_dict()
                     for stage, stats in sorted(self._stats.items())}
+
+    def metrics(self) -> Dict[str, object]:
+        """A registry snapshot (the same numbers, typed and labeled)."""
+        return self.registry.snapshot()
 
     # ------------------------------------------------------------------
     # Lookup / insert.
@@ -196,7 +177,7 @@ class ArtifactStore:
         if self.capacity is not None and len(self._entries) > self.capacity:
             (evicted_stage, _evicted_key), _artifact = \
                 self._entries.popitem(last=False)
-            self._stats.setdefault(evicted_stage, StageStats()).evictions += 1
+            self._stage_stats(evicted_stage).evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -205,10 +186,16 @@ class ArtifactStore:
         return stage_key in self._entries
 
     def clear(self) -> None:
-        """Drop the memory layer and counters (disk entries are kept)."""
+        """Drop the memory layer and zero counters (disk entries kept).
+
+        Counters are zeroed *in place* so existing :class:`StageStats`
+        views (e.g. a bound :class:`~repro.exec.cache.CodeCache`) keep
+        pointing at live series.
+        """
         with self._lock:
             self._entries.clear()
             self._stats.clear()
+        self.registry.reset(prefix="store_")
 
     # ------------------------------------------------------------------
     # Disk layer (best effort).

@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import global_tracer, tracing_enabled
 from . import protocol
 
 #: environment variable naming the daemon endpoint for implicit clients
@@ -148,6 +149,11 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self._call({"op": "stats"})
 
+    def trace(self, trace_id: str) -> Dict[str, object]:
+        """The daemon's stitched view of one trace: spans + journal
+        events (see the ``trace`` protocol op)."""
+        return self._call({"op": "trace", "id": trace_id})
+
     def jobs(self, states: Optional[Sequence[str]] = None
              ) -> List[Dict[str, object]]:
         message: Dict[str, object] = {"op": "jobs"}
@@ -172,10 +178,19 @@ class ServiceClient:
     def submit(self, request, priority: int = 0,
                max_attempts: int = 3) -> JobHandle:
         """Queue one request on the daemon; returns a JobHandle."""
-        reply = self._call({"op": "submit",
-                            "request": self._request_dict(request),
-                            "priority": priority,
-                            "max_attempts": max_attempts})
+        message: Dict[str, object] = {
+            "op": "submit",
+            "request": self._request_dict(request),
+            "priority": priority,
+            "max_attempts": max_attempts,
+        }
+        if tracing_enabled():
+            # Attach the caller's span context (additive wire field) so
+            # the daemon's job span joins this trace.
+            context = global_tracer().current_context()
+            if context is not None:
+                message["trace"] = dict(context)
+        reply = self._call(message)
         return JobHandle(self, reply["job"])
 
     def status(self, job_id: str) -> Dict[str, object]:
@@ -212,7 +227,32 @@ class ServiceClient:
     def execute(self, request, timeout: Optional[float] = None,
                 priority: int = 0):
         """Session-shaped blocking execution of one request."""
-        return self.submit(request, priority=priority).result(timeout=timeout)
+        tracer = global_tracer()
+        kind = getattr(request, "kind", None) or (
+            request.get("kind", "request") if isinstance(request, dict)
+            else "request")
+        with tracer.span("client.execute", endpoint=self.endpoint,
+                         kind=str(kind)) as span:
+            response = self.submit(
+                request, priority=priority).result(timeout=timeout)
+            trace_id = span.trace_id
+        if trace_id:
+            self._ship_spans(tracer, trace_id)
+        return response
+
+    def _ship_spans(self, tracer, trace_id: str) -> None:
+        """Best-effort: hand the client's finished spans to the daemon
+        so one ``trace`` lookup returns the stitched cross-process tree.
+        The spans are drained either way; a dead daemon loses only the
+        client-side spans, never the request."""
+        spans = tracer.take(trace_id)
+        if not spans:
+            return
+        try:
+            self._call({"op": "obs.spans", "spans": spans,
+                        "source": "client"})
+        except ServiceError:
+            pass
 
     def run_batch(self, requests: Sequence,
                   timeout: Optional[float] = None) -> List:

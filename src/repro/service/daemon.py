@@ -44,6 +44,11 @@ from dataclasses import asdict
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..exec.batch import EVALUATION_STAGE, BatchEvaluator
+from ..obs import (
+    ObsJournal, default_journal_path, global_tracer, metrics_enabled,
+    obs_mode, read_journal, tracing_enabled,
+)
+from ..obs.metrics import merge_snapshot
 from . import protocol
 from .diskstore import DiskArtifactStore
 from .queue import DurableQueue, QueueError
@@ -105,6 +110,9 @@ class TaskPool:
         self._dispatcher: Optional[threading.Thread] = None
         #: last reported per-worker store counters (cache economics).
         self.worker_stats: Dict[str, Dict[str, object]] = {}
+        #: last reported per-worker metrics-registry snapshot (cumulative
+        #: per worker; the daemon merges them fleet-wide on demand).
+        self.worker_metrics: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -144,6 +152,13 @@ class TaskPool:
         Raises :class:`TaskError` if any task fails, times out, or
         exhausts its worker-death retry budget.
         """
+        if tracing_enabled():
+            # Ride the caller's span context into each task frame so the
+            # worker's spans join this trace (additive wire field).
+            context = global_tracer().current_context()
+            if context is not None:
+                payloads = [dict(payload, trace=dict(context))
+                            for payload in payloads]
         pending = [_PendingTask(next(self._uid), payload)
                    for payload in payloads]
         with self._cv:
@@ -228,6 +243,14 @@ class TaskPool:
                 store = task.result.get("store")
                 if isinstance(store, dict):
                     self.worker_stats[link.worker_id] = store
+                metrics = task.result.get("metrics")
+                if isinstance(metrics, dict):
+                    self.worker_metrics[link.worker_id] = metrics
+                spans = task.result.get("spans")
+                if spans:
+                    # Stitch the worker's spans into the daemon's trace
+                    # buffer; they already carry the propagated trace_id.
+                    global_tracer().ingest(spans)
             else:
                 task.error = str(message.get("error", "worker error"))
             task.event.set()
@@ -254,6 +277,13 @@ class TaskPool:
             link.conn.close()
         if self.on_worker_lost is not None and not self._stopping:
             self.on_worker_lost(link.worker_id)
+
+    def heartbeat_lags(self) -> Dict[str, float]:
+        """Seconds since each live worker's last frame (heartbeat lag)."""
+        now = time.monotonic()
+        with self._cv:
+            return {link.worker_id: round(now - link.last_seen, 6)
+                    for link in self._links.values() if link.alive}
 
     def reap_stale(self, heartbeat_timeout: float) -> List[str]:
         """Declare workers with stale heartbeats dead; returns their ids."""
@@ -339,7 +369,8 @@ class ServiceDaemon:
                  task_timeout: float = 600.0, task_retries: int = 2,
                  evaluate_chunk: int = 4,
                  worker_env: Optional[Dict[str, str]] = None,
-                 name: str = "daemon") -> None:
+                 name: str = "daemon",
+                 journal: Optional[str] = None) -> None:
         if worker_mode not in ("process", "thread"):
             raise ValueError(
                 f"worker_mode must be 'process' or 'thread', "
@@ -363,6 +394,13 @@ class ServiceDaemon:
         self.queue = DurableQueue(os.path.join(self.root, "queue"))
         self.pool = TaskPool(task_retries=task_retries,
                              on_worker_lost=self._worker_lost)
+        #: fleet observability: the daemon counts into its store's
+        #: registry (so queue/job metrics export next to cache counters)
+        #: and journals one manifest per finished job when tracing.
+        self.registry = self.store.registry
+        self.journal = ObsJournal(
+            journal or default_journal_path()
+            or os.path.join(self.root, "obs.jsonl"))
         self.session = self._make_session()
 
         self._listener = None
@@ -476,6 +514,9 @@ class ServiceDaemon:
             os.path.dirname(os.path.abspath(__file__))))
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
         env.update(self.worker_env)
+        # Workers follow the daemon's observability mode unless the
+        # operator pinned one explicitly (env or worker_env).
+        env.setdefault("REPRO_OBS", obs_mode())
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.service.worker",
              "--endpoint", self.endpoint, "--store", self.store_dir,
@@ -603,7 +644,12 @@ class ServiceDaemon:
                         "store": {**self.store.describe(),
                                   "stages": self.store.stats_dict()},
                         "workers": dict(self.pool.worker_stats),
-                        "recovered": list(self.queue.recovered)}
+                        "recovered": list(self.queue.recovered),
+                        "metrics": self.metrics()}
+            if op == "obs.spans":
+                return self._op_obs_spans(message)
+            if op == "trace":
+                return self._op_trace(message)
             if op == "shutdown":
                 threading.Thread(target=self.stop, daemon=True,
                                  name="svc-shutdown").start()
@@ -622,10 +668,55 @@ class ServiceDaemon:
         if not isinstance(request, dict):
             return {"ok": False, "error": "submit needs a request dict"}
         request_from_dict(request)  # validate kind + schema before queueing
+        trace = message.get("trace")
         record = self.queue.submit(
             request, priority=int(message.get("priority", 0)),
-            max_attempts=int(message.get("max_attempts", 3)))
+            max_attempts=int(message.get("max_attempts", 3)),
+            trace=trace if isinstance(trace, dict) else None)
         return {"ok": True, "job": record.to_dict()}
+
+    def _op_obs_spans(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Stitch late client-side spans into the daemon's trace buffer."""
+        spans = message.get("spans")
+        if not isinstance(spans, list):
+            return {"ok": False, "error": "obs.spans needs a spans list"}
+        ingested = global_tracer().ingest(spans)
+        by_trace: Dict[str, List[Dict[str, object]]] = {}
+        for span in spans:
+            if isinstance(span, dict) and span.get("trace_id"):
+                by_trace.setdefault(str(span["trace_id"]), []).append(span)
+        for trace_id, trace_spans in by_trace.items():
+            with contextlib.suppress(OSError):
+                self.journal.spans(trace_id, trace_spans,
+                                   source=str(message.get("source",
+                                                          "client")))
+        return {"ok": True, "ingested": ingested}
+
+    def _op_trace(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Everything the daemon knows about one trace id."""
+        trace_id = str(message.get("id", ""))
+        if not trace_id:
+            return {"ok": False, "error": "trace needs an id"}
+        events = read_journal(self.journal.path, trace_id)
+        return {"ok": True, "trace_id": trace_id,
+                "spans": global_tracer().spans_for(trace_id),
+                "events": events}
+
+    def metrics(self) -> Dict[str, object]:
+        """The daemon's registry snapshot merged with worker snapshots."""
+        if metrics_enabled():
+            self.registry.gauge(
+                "queue_depth",
+                help="jobs currently queued").set(
+                float(self.queue.snapshot().get("queued", 0)))
+            for worker_id, lag in self.pool.heartbeat_lags().items():
+                self.registry.gauge(
+                    "worker_heartbeat_lag_seconds", {"worker": worker_id},
+                    help="seconds since the worker's last frame").set(lag)
+        snapshot = self.registry.snapshot()
+        others = [m for m in self.pool.worker_metrics.values()
+                  if isinstance(m, dict)]
+        return merge_snapshot(snapshot, *others) if others else snapshot
 
     def _op_result(self, message: Dict[str, object]) -> Dict[str, object]:
         record = self.queue.get(str(message.get("id")))
@@ -643,15 +734,73 @@ class ServiceDaemon:
             record = self.queue.claim(timeout=0.25, worker=self.name)
             if record is None:
                 continue
+            self._count_claim(record)
+            tracer = global_tracer()
+            trace = record.trace or {}
+            started = time.perf_counter()
             try:
-                response = self._run_job(record.request)
+                # Graft the job span under the client's submit context
+                # (when the client was tracing) so one trace_id covers
+                # client → daemon → worker → stage.
+                with tracer.adopt(str(trace.get("trace_id", "")),
+                                  str(trace.get("span_id", ""))):
+                    with tracer.span("daemon.job", job=record.id,
+                                     kind=record.kind) as span:
+                        response = self._run_job(record.request)
+                        trace_id = span.trace_id
             except Exception as exc:  # noqa: BLE001 - job fails, runner lives
+                self._count_done(record, "failed",
+                                 time.perf_counter() - started)
                 with contextlib.suppress(QueueError):
                     self.queue.fail(record.id,
                                     f"{type(exc).__name__}: {exc}")
                 continue
+            self._count_done(record, "done", time.perf_counter() - started)
+            if trace_id:
+                provenance = response.get("provenance")
+                if isinstance(provenance, dict):
+                    provenance.setdefault("trace_id", "")
+                    if not provenance["trace_id"]:
+                        provenance["trace_id"] = trace_id
+                self._journal_job(record, response, trace_id)
             with contextlib.suppress(QueueError):
                 self.queue.finish(record.id, response)
+
+    def _count_claim(self, record) -> None:
+        if not metrics_enabled():
+            return
+        wait = max(0.0, (record.started_at or 0.0) - record.submitted_at)
+        self.registry.histogram(
+            "queue_wait_seconds",
+            help="submit-to-claim latency of daemon jobs").observe(wait)
+        self.registry.counter(
+            "jobs_claimed", {"kind": record.kind},
+            help="jobs claimed by the daemon's runners").inc()
+
+    def _count_done(self, record, state: str, seconds: float) -> None:
+        if not metrics_enabled():
+            return
+        self.registry.counter(
+            "jobs_finished", {"kind": record.kind, "state": state},
+            help="jobs finished by terminal state").inc()
+        self.registry.histogram(
+            "job_seconds", {"kind": record.kind},
+            help="claim-to-finish job execution time").observe(seconds)
+
+    def _journal_job(self, record, response: Dict[str, object],
+                     trace_id: str) -> None:
+        try:
+            self.journal.manifest(
+                kind=record.kind, trace_id=trace_id,
+                source=f"daemon:{self.name}",
+                request=record.request,
+                provenance=response.get("provenance")
+                if isinstance(response.get("provenance"), dict) else None,
+                spans=global_tracer().spans_for(trace_id),
+                metrics=self.metrics(),
+                extra={"job": record.id})
+        except OSError:  # pragma: no cover - journaling is best effort
+            pass
 
     def _pool_provenance(self, engine: str, fidelity: str,
                          started: float) -> Dict[str, object]:

@@ -68,6 +68,10 @@ class JobRecord:
     error: Optional[str] = None
     #: True when this record survived a daemon restart while running.
     recovered: bool = False
+    #: client-side trace context (``{"trace_id", "span_id"}``) when the
+    #: submitter was tracing, so the daemon's job span joins the
+    #: client's trace.  Optional and additive: old journals load fine.
+    trace: Optional[Dict[str, str]] = None
 
     @property
     def kind(self) -> str:
@@ -169,14 +173,16 @@ class DurableQueue:
     # Submission and claiming.
     # ------------------------------------------------------------------
     def submit(self, request: Mapping[str, object],
-               priority: int = 0, max_attempts: int = 3) -> JobRecord:
+               priority: int = 0, max_attempts: int = 3,
+               trace: Optional[Mapping[str, str]] = None) -> JobRecord:
         """Journal a new job; returns its record (state ``queued``)."""
         with self._available:
             self._seq += 1
             record = JobRecord(
                 id=f"job-{self._seq:06d}", request=dict(request),
                 priority=int(priority), seq=self._seq,
-                max_attempts=max_attempts, submitted_at=time.time())
+                max_attempts=max_attempts, submitted_at=time.time(),
+                trace=dict(trace) if trace else None)
             self._persist(record)
             self._records[record.id] = record
             heapq.heappush(self._heap,

@@ -35,6 +35,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from ..obs import global_tracer, metrics_enabled
 from . import protocol
 from .diskstore import DiskArtifactStore
 from .tasks import CELL_STAGE, cell_key
@@ -70,11 +71,29 @@ class WorkerRuntime:
         }.get(kind)
         if handler is None:
             raise ValueError(f"unknown task kind {kind!r}")
-        result = handler(task)
+        tracer = global_tracer()
+        trace = task.get("trace") if isinstance(task.get("trace"),
+                                                dict) else {}
+        # Adopt the daemon's span context (propagated in the task frame)
+        # so the worker's spans carry the request's trace_id.
+        with tracer.adopt(str(trace.get("trace_id", "")),
+                          str(trace.get("span_id", ""))):
+            with tracer.span("worker.task", worker=self.worker_id,
+                             task=str(kind)) as span:
+                result = handler(task)
+                trace_id = span.trace_id
         # Every result carries the worker's cumulative store counters so
         # the daemon can aggregate fleet-wide cache economics.
         result["store"] = self.store.stats_dict()
         result["worker"] = self.worker_id
+        if metrics_enabled():
+            # Cumulative registry snapshot (additive wire field): the
+            # daemon keeps the latest per worker and merges fleet-wide.
+            result["metrics"] = self.session.registry.snapshot()
+        if trace_id:
+            # Ship (and drain) this task's spans back inside the result
+            # frame; the daemon stitches them into its trace buffer.
+            result["spans"] = tracer.take(trace_id)
         return result
 
     # ------------------------------------------------------------------
@@ -114,16 +133,21 @@ class WorkerRuntime:
         kernels = (sorted(request.kernels) if request.kernels is not None
                    else sorted(KERNELS))
 
+        tracer = global_tracer()
         cells: Dict[str, Dict[str, object]] = {}
         missing: List[str] = []
         for kernel in kernels:
             key = cell_key(machine_ref, kernel, size, seed, opt_level,
                            engine, fidelity)
-            artifact = self.store.get(CELL_STAGE, key)
-            if artifact is not None:
-                cells[kernel] = artifact.payload
-            else:
-                missing.append(kernel)
+            with tracer.span("stage.cell", kernel=kernel,
+                             machine=str(machine_ref)) as span:
+                artifact = self.store.get(CELL_STAGE, key)
+                if artifact is not None:
+                    span.note(hit=True, key=key[:16])
+                    cells[kernel] = artifact.payload
+                else:
+                    span.note(hit=False, key=key[:16])
+                    missing.append(kernel)
 
         machine = resolve_machine(machine_ref)
         if missing:
