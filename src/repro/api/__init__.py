@@ -21,11 +21,12 @@ Typical use::
 from .jobs import Job
 from .requests import (
     PRESET_ALIASES, REQUEST_TYPES, RESPONSE_TYPES, SCHEMA_VERSION,
-    CompileRequest, CompileResponse, CustomizeRequest, CustomizeResponse,
-    ExploreRequest, ExploreResponse, MatrixRequest, MatrixResponse,
-    PopulationRequest, PopulationResponse, Provenance, RunRequest,
-    RunResponse, SchemaError, request_from_dict, request_from_json,
-    resolve_machine, response_from_dict, response_from_json,
+    AppRequest, AppResponse, CompileRequest, CompileResponse,
+    CustomizeRequest, CustomizeResponse, ExploreRequest, ExploreResponse,
+    MatrixRequest, MatrixResponse, PopulationRequest, PopulationResponse,
+    Provenance, RunRequest, RunResponse, SchemaError, request_from_dict,
+    request_from_json, resolve_machine, response_from_dict,
+    response_from_json,
 )
 from .session import (
     Session, default_pipeline, default_session, reset_default_session,
@@ -34,6 +35,7 @@ from .session import (
 __all__ = [
     "Job",
     "PRESET_ALIASES", "REQUEST_TYPES", "RESPONSE_TYPES", "SCHEMA_VERSION",
+    "AppRequest", "AppResponse",
     "CompileRequest", "CompileResponse", "CustomizeRequest",
     "CustomizeResponse", "ExploreRequest", "ExploreResponse",
     "MatrixRequest", "MatrixResponse", "PopulationRequest",

@@ -12,6 +12,7 @@ and CI::
     python -m repro customize --kernel viterbi_acs --budget 40
     python -m repro explore --mix video --strategy exhaustive --size 24
     python -m repro gen --count 10 --seed 7
+    python -m repro app --topology chain --app-seed 11 --deadline-us 30
     python -m repro compile --kernel sad16 --machine dsp16 --pretty
 
 The service subcommands run the same requests through a persistent
@@ -42,11 +43,11 @@ import sys
 from typing import List, Optional
 
 from .requests import (
-    EVALUATION_ENGINES, FIDELITY_LEVELS, FUNCTIONAL_ENGINES, OBJECTIVES,
-    RUN_ENGINES, STRATEGIES, CompileRequest, CustomizeRequest, ExploreRequest,
-    MatrixRequest, MatrixResponse, PopulationRequest, PopulationResponse,
-    RunRequest, RunResponse, CustomizeResponse, SchemaError,
-    request_from_json,
+    APP_TOPOLOGIES, EVALUATION_ENGINES, FIDELITY_LEVELS, FUNCTIONAL_ENGINES,
+    OBJECTIVES, RUN_ENGINES, STRATEGIES, AppRequest, AppResponse,
+    CompileRequest, CustomizeRequest, ExploreRequest, MatrixRequest,
+    MatrixResponse, PopulationRequest, PopulationResponse, RunRequest,
+    RunResponse, CustomizeResponse, SchemaError, request_from_json,
 )
 from .session import Session
 
@@ -168,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument("--mem-units", type=_csv_ints, default=None,
                            dest="mem_unit_counts")
     explore_p.add_argument("--custom-budgets", type=_csv_floats, default=None)
+    explore_p.add_argument("--application", metavar="FILE", default=None,
+                           help="explore for an application mix instead of "
+                                "--mix: JSON file ('-' for stdin) holding a "
+                                "serialized ApplicationMix or a single "
+                                "ApplicationSpec")
     _add_common(explore_p)
 
     matrix_p = commands.add_parser(
@@ -198,6 +204,31 @@ def build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument("--no-validate", action="store_true",
                        help="skip the dual-engine validation pass")
     _add_common(gen_p)
+
+    app_p = commands.add_parser(
+        "app", help="run a multi-kernel dataflow application window by "
+                    "window against real-time objectives")
+    app_p.add_argument("--application", metavar="FILE",
+                       help="serialized ApplicationSpec JSON ('-' for "
+                            "stdin); or generate one with --topology")
+    app_p.add_argument("--topology", default=None, choices=APP_TOPOLOGIES,
+                       help="generate the application from a seeded recipe")
+    app_p.add_argument("--app-seed", type=int, default=0,
+                       help="generator seed for --topology")
+    app_p.add_argument("--machine", default="vliw4")
+    app_p.add_argument("--engine", default="compiled",
+                       choices=FUNCTIONAL_ENGINES,
+                       help="functional engine node windows execute on")
+    app_p.add_argument("--fidelity", default="cycle", choices=FIDELITY_LEVELS,
+                       help="execute every window (cycle) or price each "
+                            "node once and re-aggregate (trace)")
+    app_p.add_argument("--windows", type=int, default=None,
+                       help="override the stream's window count")
+    app_p.add_argument("--period-us", type=float, default=None,
+                       help="override the stream's window period")
+    app_p.add_argument("--deadline-us", type=float, default=None,
+                       help="override the per-window deadline")
+    _add_common(app_p)
 
     serve_p = commands.add_parser(
         "serve", help="run a persistent service daemon (durable job "
@@ -318,6 +349,8 @@ def _build_request(args: argparse.Namespace):
             "issue_widths", "register_counts", "cluster_counts",
             "mul_unit_counts", "mem_unit_counts", "custom_budgets",
         ) if getattr(args, axis) is not None}
+        application = (json.loads(_read_text(args.application))
+                       if args.application else None)
         return ExploreRequest(mix=args.mix, strategy=args.strategy,
                               objective=args.objective, size=args.size,
                               seed=args.seed, opt_level=args.opt_level,
@@ -326,7 +359,8 @@ def _build_request(args: argparse.Namespace):
                               search_seed=args.search_seed,
                               iterations=args.iterations,
                               max_rounds=args.max_rounds,
-                              workers=args.workers or None)
+                              workers=args.workers or None,
+                              application=application)
     if args.command == "matrix":
         return MatrixRequest(machines=args.machines, kernels=args.kernels,
                              size=args.size, seed=args.seed,
@@ -341,13 +375,22 @@ def _build_request(args: argparse.Namespace):
                                  kernels_per_family=args.kernels_per_family,
                                  validate_population=not args.no_validate,
                                  workers=args.workers or None)
+    if args.command == "app":
+        application = (json.loads(_read_text(args.application))
+                       if args.application else None)
+        return AppRequest(application=application, topology=args.topology,
+                          app_seed=args.app_seed, machine=args.machine,
+                          engine=args.engine, fidelity=args.fidelity,
+                          opt_level=args.opt_level, windows=args.windows,
+                          period_us=args.period_us,
+                          deadline_us=args.deadline_us)
     raise SchemaError(f"unknown command {args.command!r}")
 
 
 def _succeeded(response) -> bool:
     if isinstance(response, MatrixResponse):
         return response.all_correct
-    if isinstance(response, (RunResponse, CustomizeResponse)):
+    if isinstance(response, (RunResponse, CustomizeResponse, AppResponse)):
         return response.correct
     if isinstance(response, PopulationResponse):
         return response.valid is None or response.valid == response.count

@@ -3,8 +3,8 @@
 This module is the wire format of the :mod:`repro.api` façade — the
 "design house submits a workload, gets back a machine and numbers"
 interface of Fisher's customization-as-a-service vision.  Everything a
-client can ask for is one of six request dataclasses (compile, run,
-customize, explore, matrix, population), deliberately primitive-typed so
+client can ask for is one of seven request dataclasses (compile, run,
+customize, explore, matrix, population, app), deliberately primitive-typed so
 that requests serialize to JSON, travel across processes, and replay
 bit-identically:
 
@@ -37,6 +37,7 @@ from ..dse.space import DesignPoint, DesignSpace
 from ..exec.registry import (
     EVALUATION_ENGINES, FIDELITY_LEVELS, FUNCTIONAL_ENGINES,
 )
+from ..gen.application import APP_TOPOLOGIES
 from ..gen.spec import FAMILIES
 
 #: version of the request/response wire format; bump on breaking change.
@@ -372,6 +373,13 @@ class ExploreRequest(Message):
     max_rounds: int = 4
     #: process-pool width for the batched fan-out (session default if None).
     workers: Optional[int] = None
+    #: explore for an *application mix* instead of a kernel mix: either a
+    #: serialized :class:`~repro.dse.app.ApplicationMix` dict (``{"name",
+    #: "apps"}``) or a single :class:`~repro.app.ApplicationSpec` dict
+    #: (``{"name", "nodes", ...}``), wrapped in a one-app mix.  ``mix``
+    #: is ignored when set; real-time objectives (``deadline_miss_rate``,
+    #: ``p99_latency``, ``energy_per_window``) need it.
+    application: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -390,6 +398,16 @@ class ExploreRequest(Message):
                 raise ValueError(
                     f"unknown design-space axes {sorted(unknown)}; "
                     f"options: {', '.join(SPACE_AXES)}")
+        if self.application is not None:
+            if not isinstance(self.application, Mapping):
+                raise ValueError(
+                    "ExploreRequest application must be a serialized "
+                    "ApplicationMix or ApplicationSpec mapping")
+            if "apps" not in self.application \
+                    and "nodes" not in self.application:
+                raise ValueError(
+                    "ExploreRequest application mapping needs 'apps' (an "
+                    "ApplicationMix) or 'nodes' (a single ApplicationSpec)")
 
 
 @_register_request
@@ -455,6 +473,60 @@ class PopulationRequest(Message):
         _check_engine(self.engine, EVALUATION_ENGINES, "evaluation")
         if self.kernels_per_family < 1:
             raise ValueError("kernels_per_family must be at least 1")
+
+
+@_register_request
+@dataclass
+class AppRequest(Message):
+    """Run one multi-kernel dataflow application window by window.
+
+    The application comes in one of two ways: a serialized
+    :class:`~repro.app.ApplicationSpec` mapping (``application``), or a
+    generator recipe (``topology`` + ``app_seed``) that the session
+    expands through :func:`repro.gen.sample_application`.  The
+    ``windows`` / ``period_us`` / ``deadline_us`` fields override the
+    spec's window stream either way (None keeps the spec's own values).
+    """
+
+    kind: ClassVar[str] = "app"
+
+    #: serialized ApplicationSpec (exactly one of this and ``topology``).
+    application: Optional[Dict[str, object]] = None
+    #: generator topology ("chain", "fan_in", "diamond").
+    topology: Optional[str] = None
+    #: generator seed for the ``topology`` recipe.
+    app_seed: int = 0
+    machine: Union[str, Dict[str, object]] = "vliw4"
+    #: functional engine node windows execute on.
+    engine: str = "compiled"
+    #: "cycle" executes every window; "trace" prices each node once and
+    #: re-aggregates the graph analytically.
+    fidelity: str = "cycle"
+    opt_level: Optional[int] = None
+    windows: Optional[int] = None
+    period_us: Optional[float] = None
+    deadline_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.application is None) == (self.topology is None):
+            raise ValueError(
+                "AppRequest needs exactly one of 'application' (a "
+                "serialized ApplicationSpec) or 'topology' (a generator "
+                f"recipe: {', '.join(APP_TOPOLOGIES)})")
+        if self.application is not None \
+                and not isinstance(self.application, Mapping):
+            raise ValueError(
+                "AppRequest application must be a serialized "
+                "ApplicationSpec mapping")
+        if self.topology is not None and self.topology not in APP_TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology '{self.topology}'; options: "
+                f"{', '.join(APP_TOPOLOGIES)}")
+        _check_machine(self.machine)
+        _check_engine(self.engine, FUNCTIONAL_ENGINES, "functional")
+        _check_engine(self.fidelity, FIDELITY_LEVELS, "fidelity")
+        if self.windows is not None and self.windows < 1:
+            raise ValueError("AppRequest windows must be at least 1")
 
 
 # ----------------------------------------------------------------------
@@ -568,4 +640,32 @@ class PopulationResponse(Message):
     #: (None when validation was skipped).
     valid: Optional[int] = None
     report: Dict[str, object] = field(default_factory=dict)
+    provenance: Optional[Provenance] = None
+
+
+@_register_response
+@dataclass
+class AppResponse(Message):
+    kind: ClassVar[str] = "app.response"
+
+    application: str = ""
+    #: content fingerprint of the application spec that ran.
+    fingerprint: str = ""
+    machine: str = ""
+    engine: str = ""
+    fidelity: str = "cycle"
+    windows: int = 0
+    #: every node of every window matched the composed Python oracle.
+    correct: bool = False
+    deadline_miss_rate: float = 0.0
+    p50_latency_us: float = 0.0
+    p95_latency_us: float = 0.0
+    p99_latency_us: float = 0.0
+    jitter_us: float = 0.0
+    energy_per_window_uj: float = 0.0
+    period_us: float = 0.0
+    deadline_us: float = 0.0
+    window_latencies_us: List[float] = field(default_factory=list)
+    #: per-node totals (kernel, family, cycles, energy, code bytes).
+    nodes: List[Dict[str, object]] = field(default_factory=list)
     provenance: Optional[Provenance] = None

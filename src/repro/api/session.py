@@ -52,10 +52,10 @@ from ..pipeline.compile import CompilePipeline
 from ..pipeline.store import ArtifactStore
 from .jobs import Job
 from .requests import (
-    CompileRequest, CompileResponse, CustomizeRequest, CustomizeResponse,
-    ExploreRequest, ExploreResponse, MatrixRequest, MatrixResponse,
-    PopulationRequest, PopulationResponse, Provenance, RunRequest,
-    RunResponse, resolve_machine,
+    AppRequest, AppResponse, CompileRequest, CompileResponse,
+    CustomizeRequest, CustomizeResponse, ExploreRequest, ExploreResponse,
+    MatrixRequest, MatrixResponse, PopulationRequest, PopulationResponse,
+    Provenance, RunRequest, RunResponse, resolve_machine,
 )
 
 #: monotonically numbers anonymous sessions for provenance labels.
@@ -185,6 +185,36 @@ class Session:
             fidelity=fidelity if fidelity is not None else self.fidelity,
             pipeline=self.pipeline)
 
+    def app_evaluator(self, mix, *, size: Optional[int] = None,
+                      opt_level: Optional[int] = None,
+                      seed: Optional[int] = None,
+                      engine: Optional[str] = None,
+                      fidelity: Optional[str] = None):
+        """An :class:`~repro.dse.AppEvaluator` on this session's pipeline.
+
+        ``mix`` may be an :class:`~repro.dse.ApplicationMix`, a single
+        :class:`~repro.app.ApplicationSpec` (wrapped in a one-app mix),
+        or the serialized mapping of either (an ``ExploreRequest``'s
+        ``application`` field).
+        """
+        from ..app.spec import ApplicationSpec
+        from ..dse.app import AppEvaluator, ApplicationMix
+
+        if isinstance(mix, ApplicationSpec):
+            mix = ApplicationMix.single(mix)
+        elif not isinstance(mix, ApplicationMix):
+            data = dict(mix)
+            if "apps" in data:
+                mix = ApplicationMix.from_dict(data)
+            else:
+                mix = ApplicationMix.single(ApplicationSpec.from_dict(data))
+        return AppEvaluator(
+            mix, size=self._size(size), opt_level=self._opt(opt_level),
+            seed=self._seed(seed),
+            engine=engine if engine is not None else self.evaluation_engine,
+            fidelity=fidelity if fidelity is not None else self.fidelity,
+            pipeline=self.pipeline)
+
     def batch_evaluator(self, evaluator, *, workers: Optional[int] = None,
                         cache_dir: Optional[str] = None):
         """A :class:`~repro.exec.BatchEvaluator` over this session's store."""
@@ -214,6 +244,7 @@ class Session:
         ExploreRequest.kind: "_execute_explore",
         MatrixRequest.kind: "_execute_matrix",
         PopulationRequest.kind: "_execute_population",
+        AppRequest.kind: "_execute_app",
     }
 
     def execute(self, request):
@@ -506,9 +537,15 @@ class Session:
             # (In rescore mode the frontier re-scoring *does* use the
             # requested evaluation engine, so that label stands.)
             engine = "compiled"
-        evaluator = self.evaluator(
-            request.mix, size=request.size, opt_level=request.opt_level,
-            seed=request.seed, engine=engine, fidelity=fidelity)
+        if request.application is not None:
+            evaluator = self.app_evaluator(
+                request.application, size=request.size,
+                opt_level=request.opt_level, seed=request.seed,
+                engine=engine, fidelity=fidelity)
+        else:
+            evaluator = self.evaluator(
+                request.mix, size=request.size, opt_level=request.opt_level,
+                seed=request.seed, engine=engine, fidelity=fidelity)
         explorer = self.explorer(evaluator, objective=request.objective,
                                  workers=request.workers,
                                  search_seed=request.search_seed)
@@ -600,6 +637,55 @@ class Session:
             count=len(population), seed=request.seed,
             families=population.families(), valid=valid, report=report,
             provenance=self._provenance(request.engine, started))
+
+    def _execute_app(self, request: AppRequest) -> AppResponse:
+        from dataclasses import replace
+
+        from ..app.runner import AppRunner
+        from ..app.spec import ApplicationSpec
+        from ..gen.application import sample_application
+
+        started = time.perf_counter()
+        machine = resolve_machine(request.machine)
+        if request.application is not None:
+            spec = ApplicationSpec.from_dict(request.application)
+        else:
+            kwargs = {}
+            if request.windows is not None:
+                kwargs["windows"] = request.windows
+            spec = sample_application(request.topology, request.app_seed,
+                                      period_us=request.period_us,
+                                      deadline_us=request.deadline_us,
+                                      **kwargs)
+        overrides = {name: value for name, value in (
+            ("windows", request.windows),
+            ("period_us", request.period_us),
+            ("deadline_us", request.deadline_us),
+        ) if value is not None}
+        if overrides:
+            spec = replace(spec, stream=replace(spec.stream, **overrides))
+
+        runner = AppRunner(spec, machine, engine=request.engine,
+                           opt_level=self._opt(request.opt_level),
+                           fidelity=request.fidelity, pipeline=self.pipeline)
+        report = runner.run()
+        return AppResponse(
+            application=report.application,
+            fingerprint=report.fingerprint,
+            machine=report.machine, engine=report.engine,
+            fidelity=report.fidelity, windows=report.windows,
+            correct=report.correct,
+            deadline_miss_rate=report.deadline_miss_rate,
+            p50_latency_us=report.p50_latency_us,
+            p95_latency_us=report.p95_latency_us,
+            p99_latency_us=report.p99_latency_us,
+            jitter_us=report.jitter_us,
+            energy_per_window_uj=report.energy_per_window_uj,
+            period_us=report.period_us, deadline_us=report.deadline_us,
+            window_latencies_us=list(report.window_latencies_us),
+            nodes=[stats.to_dict() for stats in report.node_stats],
+            provenance=self._provenance(request.engine, started,
+                                        fidelity=request.fidelity))
 
 
 # ----------------------------------------------------------------------

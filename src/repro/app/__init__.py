@@ -1,0 +1,40 @@
+"""Multi-kernel dataflow applications with real-time objectives.
+
+The paper's "custom-fit processor" claim is about whole products, not
+single kernels: a machine is sized for the *application* an embedded
+system runs — a graph of kernels fed by a periodic input stream with
+per-window deadlines.  This package gives that claim a concrete,
+self-checking object model:
+
+* :class:`~repro.app.spec.ApplicationSpec` — a seeded, serializable,
+  fingerprinted DAG of generated-kernel nodes with typed edges and a
+  :class:`~repro.app.spec.WindowStream` real-time envelope;
+* :class:`~repro.app.runner.AppRunner` — window-by-window execution on
+  any functional engine with per-node static timing, composed-oracle
+  checking, and trace-fidelity analytic re-aggregation;
+* :class:`~repro.app.runner.AppReport` — typed deadline/latency/jitter/
+  energy measurements with histogram-derived p50/p95/p99.
+
+Applications themselves are synthesized by :mod:`repro.gen.application`
+(chain / fan-in / diamond topologies over the five scenario families)
+and scored against design spaces by :class:`repro.dse.AppEvaluator`.
+"""
+
+from .runner import (AppNodeStats, AppReport, AppRunner,
+                     LATENCY_BUCKETS_US, run_application)
+from .spec import (AppEdge, AppNode, ApplicationSpec, VALUE_PORT,
+                   WindowStream, node_ports)
+
+__all__ = [
+    "AppEdge",
+    "AppNode",
+    "AppNodeStats",
+    "AppReport",
+    "AppRunner",
+    "ApplicationSpec",
+    "LATENCY_BUCKETS_US",
+    "VALUE_PORT",
+    "WindowStream",
+    "node_ports",
+    "run_application",
+]

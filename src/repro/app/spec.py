@@ -1,0 +1,274 @@
+"""Seeded, serializable descriptions of multi-kernel applications.
+
+An :class:`ApplicationSpec` is the *recipe* for one dataflow
+application: a DAG of kernel nodes (each node expands one
+:class:`~repro.gen.WorkloadSpec` through the deterministic generator),
+typed edges that carry data between nodes, and a
+:class:`WindowStream` describing the real-time envelope the graph runs
+under — how many input windows arrive, how large each is, how often one
+arrives (``period_us``) and by when each must be finished
+(``deadline_us``).
+
+Edges come in two types, named by the source port:
+
+* **array edges** (``src_port`` names an output-role array of the
+  source node) copy the produced array into an input-role array of the
+  destination — the streaming "signal path";
+* **scalar edges** (``src_port == "value"``) fold the source node's
+  return value into the destination's freshly drawn input window — a
+  cheap control/feature path that every node can produce.
+
+Like :class:`~repro.gen.WorkloadSpec`, the application spec is tiny and
+primitive-typed: two processes holding equal specs bind bit-identical
+per-window arguments, and :meth:`ApplicationSpec.fingerprint` gives a
+stable content address that composes with
+:mod:`repro.pipeline.fingerprints`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..gen.generator import build_function
+from ..gen.spec import WorkloadSpec
+from ..pipeline.fingerprints import spec_fingerprint
+
+#: the edge source port naming a node's scalar return value.
+VALUE_PORT = "value"
+
+
+@dataclass(frozen=True)
+class AppNode:
+    """One kernel node: a unique graph name bound to a workload recipe."""
+
+    name: str
+    spec: WorkloadSpec
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise ValueError(
+                f"node name {self.name!r} must be a non-empty identifier")
+        if isinstance(self.spec, Mapping):
+            object.__setattr__(self, "spec", WorkloadSpec.from_dict(self.spec))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "spec": self.spec.to_dict()}
+
+
+@dataclass(frozen=True)
+class AppEdge:
+    """One typed dataflow edge between two nodes.
+
+    ``src_port`` is either :data:`VALUE_PORT` (the source's scalar
+    return value) or the name of an output-role array of the source
+    node; ``dst_port`` always names an input-role array of the
+    destination node.
+    """
+
+    src: str
+    dst: str
+    src_port: str = VALUE_PORT
+    dst_port: str = ""
+
+    @property
+    def is_array(self) -> bool:
+        return self.src_port != VALUE_PORT
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"src": self.src, "dst": self.dst,
+                "src_port": self.src_port, "dst_port": self.dst_port}
+
+
+@dataclass(frozen=True)
+class WindowStream:
+    """The input stream and real-time envelope an application runs under."""
+
+    #: number of input windows to process per run.
+    windows: int = 8
+    #: elements per window (per input array); the graph's problem size.
+    window_size: int = 32
+    #: arrival period of consecutive windows, microseconds.
+    period_us: float = 100.0
+    #: per-window completion deadline, microseconds.
+    deadline_us: float = 100.0
+    #: seed for the per-window input data.
+    seed: int = 0
+    #: per-window load variation in [0, 1): each window carries between
+    #: ``window_size * (1 - load_jitter)`` and ``window_size`` samples
+    #: (drawn deterministically from the stream seed).  This is what
+    #: makes window latencies — and therefore jitter and deadline
+    #: misses — genuinely vary: the generated kernels themselves are
+    #: near data-independent in timing.
+    load_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.windows < 1:
+            raise ValueError("a stream needs at least one window")
+        if self.window_size < 8:
+            raise ValueError("window_size must be at least 8")
+        if self.period_us <= 0 or self.deadline_us <= 0:
+            raise ValueError("period_us and deadline_us must be positive")
+        if not 0.0 <= self.load_jitter < 1.0:
+            raise ValueError("load_jitter must be in [0, 1)")
+
+    def window_load(self, window: int) -> int:
+        """Active sample count of one window (deterministic in the seed)."""
+        if self.load_jitter == 0.0:
+            return self.window_size
+        import random
+
+        floor = max(8, int(self.window_size * (1.0 - self.load_jitter)))
+        rng = random.Random(f"load:{self.seed}:{window}")
+        return rng.randint(floor, self.window_size)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"windows": self.windows, "window_size": self.window_size,
+                "period_us": self.period_us, "deadline_us": self.deadline_us,
+                "seed": self.seed, "load_jitter": self.load_jitter}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WindowStream":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def node_ports(spec: WorkloadSpec) -> Dict[str, str]:
+    """``{array name: role}`` of the kernel a workload spec expands to.
+
+    Deterministic in the spec (the generator draws everything from
+    ``Random(spec.seed)``), so edge validation needs no compilation.
+    """
+    return {a.name: a.role for a in build_function(spec).arrays}
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """One dataflow application (immutable, serializable, fingerprinted)."""
+
+    name: str
+    nodes: Tuple[AppNode, ...]
+    edges: Tuple[AppEdge, ...] = ()
+    stream: WindowStream = WindowStream()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an application needs a name")
+        nodes = tuple(AppNode(**n) if isinstance(n, Mapping) else n
+                      for n in self.nodes)
+        edges = tuple(AppEdge(**e) if isinstance(e, Mapping) else e
+                      for e in self.edges)
+        stream = (WindowStream.from_dict(self.stream)
+                  if isinstance(self.stream, Mapping) else self.stream)
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "stream", stream)
+        if not nodes:
+            raise ValueError("an application needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+        ports = {n.name: node_ports(n.spec) for n in nodes}
+        taken = set()
+        for edge in edges:
+            if edge.src not in ports or edge.dst not in ports:
+                raise ValueError(
+                    f"edge {edge.src}->{edge.dst} references unknown nodes")
+            if edge.src_port != VALUE_PORT:
+                role = ports[edge.src].get(edge.src_port)
+                if role != "output":
+                    raise ValueError(
+                        f"edge source port {edge.src}.{edge.src_port} is not "
+                        f"an output array (got role {role!r})")
+            if ports[edge.dst].get(edge.dst_port) != "input":
+                raise ValueError(
+                    f"edge destination port {edge.dst}.{edge.dst_port} is "
+                    f"not an input array")
+            key = (edge.dst, edge.dst_port)
+            if key in taken:
+                raise ValueError(
+                    f"input port {edge.dst}.{edge.dst_port} is bound twice")
+            taken.add(key)
+        # topological_order() raises on cycles; validate eagerly.
+        self.topological_order()
+
+    # ------------------------------------------------------------------
+    # Graph structure.
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> AppNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def in_edges(self, name: str) -> Tuple[AppEdge, ...]:
+        return tuple(e for e in self.edges if e.dst == name)
+
+    def topological_order(self) -> Tuple[AppNode, ...]:
+        """Kahn's algorithm, stable in declaration order; raises on cycles."""
+        pending = {n.name: sum(1 for e in self.edges if e.dst == n.name)
+                   for n in self.nodes}
+        order: List[AppNode] = []
+        while len(order) < len(self.nodes):
+            ready = [n for n in self.nodes
+                     if pending.get(n.name, -1) == 0]
+            if not ready:
+                raise ValueError(
+                    f"application '{self.name}' has a dataflow cycle")
+            for node in ready:
+                order.append(node)
+                pending[node.name] = -1
+                for edge in self.edges:
+                    if edge.src == node.name:
+                        pending[edge.dst] -= 1
+        return tuple(order)
+
+    @property
+    def run_size(self) -> int:
+        """The shared per-node problem size: every node runs its arrays at
+        this length so array edges always connect equal-length buffers."""
+        return max(self.stream.window_size,
+                   max(n.spec.footprint for n in self.nodes))
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "nodes": [n.to_dict() for n in self.nodes],
+            "edges": [e.to_dict() for e in self.edges],
+            "stream": self.stream.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ApplicationSpec":
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "nodes" in kwargs:
+            kwargs["nodes"] = tuple(
+                AppNode(name=str(n["name"]),
+                        spec=WorkloadSpec.from_dict(n["spec"]))
+                for n in kwargs["nodes"])
+        if "edges" in kwargs:
+            kwargs["edges"] = tuple(AppEdge(**e) for e in kwargs["edges"])
+        if "stream" in kwargs:
+            kwargs["stream"] = WindowStream.from_dict(kwargs["stream"])
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ApplicationSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Identity.
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content address of this application (pipeline-compatible)."""
+        return spec_fingerprint("application", self.to_json())

@@ -4,6 +4,7 @@ from .space import DesignPoint, DesignSpace
 from .objectives import Evaluation, Evaluator, KernelMeasurement
 from .pareto import dominates, knee_point, normalize, pareto_front
 from .explorer import OBJECTIVES, ExplorationResult, Explorer
+from .app import AppEvaluation, AppEvaluator, ApplicationMix
 from .ablation import AblationRow, run_ablation
 
 __all__ = [
@@ -11,5 +12,6 @@ __all__ = [
     "Evaluation", "Evaluator", "KernelMeasurement",
     "dominates", "knee_point", "normalize", "pareto_front",
     "OBJECTIVES", "ExplorationResult", "Explorer",
+    "AppEvaluation", "AppEvaluator", "ApplicationMix",
     "AblationRow", "run_ablation",
 ]

@@ -28,11 +28,34 @@ from .pareto import knee_point, pareto_front
 from .space import DesignPoint, DesignSpace
 
 
+def _app_metric(evaluation: Evaluation, attr: str, objective: str) -> float:
+    """Fetch a real-time metric; only application evaluations carry them."""
+    value = getattr(evaluation, attr, None)
+    if value is None:
+        raise ValueError(
+            f"objective '{objective}' needs real-time application metrics; "
+            f"explore over an ApplicationMix (repro.dse.AppEvaluator), not "
+            f"a kernel mix")
+    return value
+
+
 #: scalar objectives: map an Evaluation to a figure of merit (higher = better).
+#: The real-time objectives need an :class:`~repro.dse.app.AppEvaluation`
+#: (explorations over an application mix).  ``deadline_miss_rate``
+#: breaks ties among deadline-meeting machines by energy per window —
+#: "meet every deadline at least energy" — which the miss-rate term
+#: dominates by construction (miss-rate granularity is 1/windows,
+#: many orders above the scaled energy term).
 OBJECTIVES: Dict[str, Callable[[Evaluation], float]] = {
     "performance": lambda e: e.performance,
     "perf_per_area": lambda e: e.perf_per_area,
     "perf_per_watt": lambda e: e.perf_per_watt,
+    "deadline_miss_rate": lambda e: -(
+        _app_metric(e, "deadline_miss_rate", "deadline_miss_rate")
+        + 1e-9 * _app_metric(e, "energy_per_window_uj", "deadline_miss_rate")),
+    "p99_latency": lambda e: -_app_metric(e, "p99_latency_us", "p99_latency"),
+    "energy_per_window": lambda e: -_app_metric(
+        e, "energy_per_window_uj", "energy_per_window"),
 }
 
 #: version of ExplorationResult's exported dict/JSON form.

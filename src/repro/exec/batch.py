@@ -39,8 +39,10 @@ from ..pipeline.store import ArtifactStore, SupportsArtifactStore
 #: bump when the evaluation recipe or on-disk format changes incompatibly
 #: (2: the memo moved into ArtifactStore — cache_dir/evaluation/<key>.pkl
 #: holding a (payload, seconds) tuple; 3: the recipe gained the fidelity
-#: selector and evaluations carry fidelity/point fields).
-_CACHE_SCHEMA = 3
+#: selector and evaluations carry fidelity/point fields; 4: the recipe
+#: gained the application-mix serialization so application evaluations
+#: are content-addressed).
+_CACHE_SCHEMA = 4
 
 #: artifact-store stage name under which evaluations are memoized.
 EVALUATION_STAGE = "evaluation"
@@ -64,6 +66,12 @@ class EvaluatorSpec:
     seed: int
     engine: str
     fidelity: str = "cycle"
+    #: canonical :class:`~repro.dse.app.ApplicationMix` JSON when the
+    #: recipe evaluates applications (None for kernel mixes).  Carrying
+    #: the full serialization — not just the mix name — keeps evaluation
+    #: cache keys content-addressed: two app mixes sharing a name but
+    #: not a graph never share a memo entry.
+    application: Optional[str] = None
 
     @staticmethod
     def from_evaluator(evaluator) -> "EvaluatorSpec":
@@ -82,16 +90,25 @@ class EvaluatorSpec:
             seed=evaluator.seed,
             engine=engine,
             fidelity=fidelity,
+            application=getattr(evaluator, "application_json", None),
         )
 
-    def build(self):
+    def build(self, pipeline=None):
+        if self.application is not None:
+            from ..dse.app import AppEvaluator, ApplicationMix
+
+            mix = ApplicationMix.from_json(self.application)
+            return AppEvaluator(mix, size=self.size,
+                                opt_level=self.opt_level, seed=self.seed,
+                                engine=self.engine, fidelity=self.fidelity,
+                                pipeline=pipeline)
         from ..dse.objectives import Evaluator
         from ..workloads.suite import WorkloadMix
 
         mix = WorkloadMix(self.mix_name, dict(self.weights))
         return Evaluator(mix, size=self.size, opt_level=self.opt_level,
                          seed=self.seed, engine=self.engine,
-                         fidelity=self.fidelity)
+                         fidelity=self.fidelity, pipeline=pipeline)
 
 
 def _initialize_worker(spec: EvaluatorSpec) -> None:
@@ -193,7 +210,8 @@ class BatchEvaluator:
         """Content hash of the full evaluation recipe for ``point``."""
         recipe = (_CACHE_SCHEMA, self.spec.mix_name, self.spec.weights,
                   self.spec.size, self.spec.opt_level, self.spec.seed,
-                  self.spec.engine, self.spec.fidelity, point.cache_key())
+                  self.spec.engine, self.spec.fidelity,
+                  self.spec.application, point.cache_key())
         return hashlib.sha256(repr(recipe).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------

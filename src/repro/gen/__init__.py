@@ -19,6 +19,9 @@ Typical use::
         report = population.report(budget=32.0)
 """
 
+from .application import (
+    APP_TOPOLOGIES, PRODUCER_FAMILIES, SINK_FAMILIES, sample_application,
+)
 from .characterize import (
     DynamicFeatures, StaticFeatures, WorkloadCharacterization,
     characterize_kernel, dynamic_features, static_features,
@@ -30,6 +33,8 @@ from .spec import (
 )
 
 __all__ = [
+    "APP_TOPOLOGIES", "PRODUCER_FAMILIES", "SINK_FAMILIES",
+    "sample_application",
     "DynamicFeatures", "StaticFeatures", "WorkloadCharacterization",
     "characterize_kernel", "dynamic_features", "static_features",
     "GeneratedKernel", "build_function", "generate_kernel",

@@ -1,0 +1,148 @@
+"""Synthesis of whole applications from the scenario families.
+
+Where :func:`~repro.gen.spec.sample_spec` draws one kernel recipe,
+:func:`sample_application` draws a whole dataflow graph: a topology
+(chain, fan-in or diamond) instantiated with family-appropriate nodes
+and typed edges, plus a window stream with period and deadline.  Every
+random choice comes from ``Random(seed)``, so equal ``(topology, seed)``
+pairs yield bit-identical applications — and because every node is a
+generated kernel with a Python oracle, the composed graph stays
+self-checking end to end (see :class:`~repro.app.runner.AppRunner`).
+
+Topology constraints follow from the families' array signatures: only
+``streaming_dsp`` and ``memory_mixed`` kernels produce output arrays,
+so only they can source *array* edges; every family returns a scalar,
+so *scalar* (``"value"``) edges can start anywhere.  ``table_lookup``
+has a single input array, so it never sits where two edges converge.
+
+Imports of :mod:`repro.app` stay inside the functions: ``repro.app``
+imports :mod:`repro.gen` for the node recipes, and lazy imports keep
+that dependency one-directional at module-load time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from .spec import FAMILIES, sample_spec
+
+#: graph shapes the application sampler knows how to draw.
+APP_TOPOLOGIES: Tuple[str, ...] = ("chain", "fan_in", "diamond")
+
+#: families whose kernels produce an output array (array-edge sources).
+PRODUCER_FAMILIES: Tuple[str, ...] = ("streaming_dsp", "memory_mixed")
+
+#: families with at least two input arrays (multi-edge sinks).
+SINK_FAMILIES: Tuple[str, ...] = tuple(
+    f for f in FAMILIES if f != "table_lookup")
+
+
+def _draw_node(rng: random.Random, name: str, families: Sequence[str]):
+    from ..app.spec import AppNode
+
+    family = rng.choice(list(families))
+    return AppNode(name=name, spec=sample_spec(family, rng.randrange(1 << 30)))
+
+
+def sample_application(topology: str, seed: int,
+                       families: Optional[Sequence[str]] = None,
+                       windows: int = 6, window_size: int = 32,
+                       period_us: Optional[float] = None,
+                       deadline_us: Optional[float] = None):
+    """Draw one application; deterministic in ``(topology, seed)``.
+
+    ``families`` restricts the family pool for the *free* (non-producer,
+    non-sink) positions; producer and sink positions are always drawn
+    from the structurally valid subsets.  When ``period_us`` /
+    ``deadline_us`` are omitted, a loose default envelope is drawn so
+    generated applications are meaningful real-time problems without
+    being trivially infeasible (callers exploring deadlines should pass
+    explicit values).
+    """
+    from ..app.spec import AppEdge, ApplicationSpec, WindowStream
+
+    if topology not in APP_TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology '{topology}'; available: "
+            f"{', '.join(APP_TOPOLOGIES)}")
+    pool = tuple(families) if families is not None else FAMILIES
+    for family in pool:
+        if family not in FAMILIES:
+            raise ValueError(
+                f"unknown family '{family}'; available: "
+                f"{', '.join(FAMILIES)}")
+    producers = tuple(f for f in pool if f in PRODUCER_FAMILIES) or \
+        PRODUCER_FAMILIES
+    sinks = tuple(f for f in pool if f in SINK_FAMILIES) or SINK_FAMILIES
+
+    rng = random.Random(seed)
+    nodes = []
+    edges = []
+    if topology == "chain":
+        # src --array--> mid --array--> sink
+        nodes.append(_draw_node(rng, "n0_src", producers))
+        nodes.append(_draw_node(rng, "n1_mid", producers))
+        nodes.append(_draw_node(rng, "n2_sink", pool))
+        edges.append(_array_edge(nodes[0], nodes[1]))
+        edges.append(_array_edge(nodes[1], nodes[2]))
+    elif topology == "fan_in":
+        # a --array--> sink <--value-- b
+        nodes.append(_draw_node(rng, "n0_a", producers))
+        nodes.append(_draw_node(rng, "n1_b", pool))
+        nodes.append(_draw_node(rng, "n2_sink", sinks))
+        in_ports = _input_ports(nodes[2])
+        edges.append(_array_edge(nodes[0], nodes[2], dst_port=in_ports[0]))
+        edges.append(AppEdge(src=nodes[1].name, dst=nodes[2].name,
+                             src_port="value", dst_port=in_ports[1]))
+    else:  # diamond
+        # src --array--> left/right --value--> sink (two converging paths)
+        nodes.append(_draw_node(rng, "n0_src", producers))
+        nodes.append(_draw_node(rng, "n1_left", pool))
+        nodes.append(_draw_node(rng, "n2_right", pool))
+        nodes.append(_draw_node(rng, "n3_sink", sinks))
+        edges.append(_array_edge(nodes[0], nodes[1]))
+        edges.append(_array_edge(nodes[0], nodes[2]))
+        in_ports = _input_ports(nodes[3])
+        edges.append(AppEdge(src=nodes[1].name, dst=nodes[3].name,
+                             src_port="value", dst_port=in_ports[0]))
+        edges.append(AppEdge(src=nodes[2].name, dst=nodes[3].name,
+                             src_port="value", dst_port=in_ports[1]))
+
+    if period_us is None:
+        period_us = float(rng.choice((200.0, 500.0, 1000.0)))
+    if deadline_us is None:
+        deadline_us = period_us
+    stream = WindowStream(windows=windows, window_size=window_size,
+                          period_us=period_us, deadline_us=deadline_us,
+                          seed=rng.randrange(1 << 30),
+                          load_jitter=rng.choice((0.25, 0.5)))
+    name = f"app_{topology}_{seed}"
+    return ApplicationSpec(name=name, nodes=tuple(nodes), edges=tuple(edges),
+                           stream=stream, seed=seed)
+
+
+def _input_ports(node) -> Tuple[str, ...]:
+    from ..app.spec import node_ports
+
+    return tuple(name for name, role in node_ports(node.spec).items()
+                 if role == "input")
+
+
+def _output_port(node) -> str:
+    from ..app.spec import node_ports
+
+    for name, role in node_ports(node.spec).items():
+        if role == "output":
+            return name
+    raise ValueError(
+        f"node {node.name} ({node.spec.family}) produces no output array")
+
+
+def _array_edge(src, dst, dst_port: Optional[str] = None):
+    from ..app.spec import AppEdge
+
+    if dst_port is None:
+        dst_port = _input_ports(dst)[0]
+    return AppEdge(src=src.name, dst=dst.name, src_port=_output_port(src),
+                   dst_port=dst_port)

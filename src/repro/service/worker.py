@@ -186,10 +186,8 @@ class WorkerRuntime:
 
     def _evaluate(self, task: Dict[str, object]) -> Dict[str, object]:
         """Evaluate a design-point chunk into the shared store."""
-        from ..dse.objectives import Evaluator
         from ..dse.space import DesignPoint
         from ..exec.batch import BatchEvaluator, EvaluatorSpec
-        from ..workloads.suite import WorkloadMix
 
         raw = dict(task["spec"])
         # JSON flattens tuples to lists; the cache key is a repr of the
@@ -197,11 +195,10 @@ class WorkerRuntime:
         raw["weights"] = tuple((str(kernel), weight)
                                for kernel, weight in raw["weights"])
         spec = EvaluatorSpec(**raw)
-        mix = WorkloadMix(spec.mix_name, dict(spec.weights))
-        evaluator = Evaluator(
-            mix, size=spec.size, opt_level=spec.opt_level, seed=spec.seed,
-            engine=spec.engine, fidelity=spec.fidelity,
-            pipeline=self.session.pipeline)
+        # The spec itself knows whether it rebuilds a kernel-mix or an
+        # application-mix evaluator; either way the worker's session
+        # pipeline (and its shared store) backs the compilation.
+        evaluator = spec.build(pipeline=self.session.pipeline)
         batch = BatchEvaluator(evaluator, workers=0, store=self.store)
         points = [DesignPoint(**point) for point in task["points"]]
         batch.evaluate_many(points)

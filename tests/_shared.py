@@ -15,7 +15,28 @@ from repro.workloads import get_kernel
 POPULATION_SEED = 20260730
 POPULATION_COUNT = 25
 
+#: seed of the shared generated applications (also used by bench_e7).
+APP_SEED = 11
+
 _KERNEL_MODULE_CACHE = {}
+_APPLICATION_CACHE = {}
+
+
+def seeded_application(topology: str = "chain", *, windows: int = 4,
+                       deadline_us: float = 30.0, period_us: float = 30.0):
+    """The fixed-seed generated application the app tests share.
+
+    One :class:`~repro.app.ApplicationSpec` per (topology, windows,
+    deadline, period) — specs are immutable, so sharing is safe.
+    """
+    from repro.gen import sample_application
+
+    key = (topology, windows, deadline_us, period_us)
+    if key not in _APPLICATION_CACHE:
+        _APPLICATION_CACHE[key] = sample_application(
+            topology, APP_SEED, windows=windows,
+            deadline_us=deadline_us, period_us=period_us)
+    return _APPLICATION_CACHE[key]
 
 
 def build_kernel_module(name: str, opt_level: int = 2):

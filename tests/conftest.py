@@ -26,7 +26,8 @@ from repro.opt import optimize
 from repro.workloads import get_kernel
 
 from _shared import (
-    POPULATION_COUNT, POPULATION_SEED, arg_copies, build_kernel_module,
+    APP_SEED, POPULATION_COUNT, POPULATION_SEED, arg_copies,
+    build_kernel_module, seeded_application,
 )
 
 @pytest.fixture(autouse=True)
@@ -72,6 +73,12 @@ def seeded_population():
     from repro.gen import WorkloadPopulation
 
     return WorkloadPopulation.generate(POPULATION_COUNT, seed=POPULATION_SEED)
+
+
+@pytest.fixture(scope="session")
+def app_spec():
+    """Factory form of :func:`seeded_application` (shared spec cache)."""
+    return seeded_application
 
 
 @pytest.fixture

@@ -26,10 +26,10 @@ import json
 import pytest
 
 from repro.api import (
-    CompileRequest, CustomizeRequest, ExploreRequest, MatrixRequest,
-    PopulationRequest, Provenance, RunRequest, SchemaError, Session,
-    default_session, request_from_dict, request_from_json, resolve_machine,
-    response_from_json,
+    AppRequest, AppResponse, CompileRequest, CustomizeRequest, ExploreRequest,
+    MatrixRequest, PopulationRequest, Provenance, RunRequest, SchemaError,
+    Session, default_session, request_from_dict, request_from_json,
+    resolve_machine, response_from_json,
 )
 from repro.api.cli import main as cli_main
 from repro.arch import dsp_core, risc_baseline, vliw4
@@ -56,6 +56,8 @@ ALL_REQUESTS = [
                   kernels=["dot_product", "crc32"], size=16),
     PopulationRequest(count=4, seed=3, families=["reduction", "table_lookup"],
                       budget_kgates=16.0, kernels_per_family=2),
+    AppRequest(topology="chain", app_seed=11, machine="dsp16",
+               engine="interpreter", windows=4, deadline_us=30.0),
 ]
 
 
@@ -101,12 +103,56 @@ class TestRequestRoundTrips:
             "size": 16, "seed": None, "opt_level": None, "engine": None,
             "fidelity": "trace", "rescore": True, "space": None,
             "search_seed": None, "iterations": 40, "max_rounds": 4,
-            "workers": None,
+            "workers": None, "application": None,
         }, sort_keys=True)
         request = request_from_json(golden)
         assert request == ExploreRequest(mix="video", size=16,
                                          fidelity="trace", rescore=True)
         assert request.to_json() == golden
+
+    def test_pre_application_explore_request_still_parses(self):
+        """Messages minted before the application field existed stay valid."""
+        legacy = json.dumps({
+            "kind": "explore", "schema_version": 1, "mix": "video",
+            "strategy": "exhaustive", "objective": "perf_per_area",
+            "size": 16, "seed": None, "opt_level": None, "engine": None,
+            "fidelity": None, "rescore": False, "space": None,
+            "search_seed": None, "iterations": 40, "max_rounds": 4,
+            "workers": None,
+        }, sort_keys=True)
+        request = request_from_json(legacy)
+        assert request.application is None
+        assert request == ExploreRequest(mix="video", size=16)
+
+    def test_golden_app_request(self):
+        golden = json.dumps({
+            "kind": "app", "schema_version": 1, "application": None,
+            "topology": "chain", "app_seed": 11, "machine": "dsp16",
+            "engine": "interpreter", "fidelity": "cycle", "opt_level": None,
+            "windows": 4, "period_us": None, "deadline_us": 30.0,
+        }, sort_keys=True)
+        request = request_from_json(golden)
+        assert request == AppRequest(topology="chain", app_seed=11,
+                                     machine="dsp16", engine="interpreter",
+                                     windows=4, deadline_us=30.0)
+        assert request.to_json() == golden
+
+    def test_golden_app_response_round_trip(self):
+        response = AppResponse(
+            application="app_chain_11", fingerprint="abc123",
+            machine="vliw4", engine="compiled", fidelity="cycle",
+            windows=4, correct=True, deadline_miss_rate=0.25,
+            p50_latency_us=10.0, p95_latency_us=20.0, p99_latency_us=22.0,
+            jitter_us=3.5, energy_per_window_uj=0.125, period_us=30.0,
+            deadline_us=30.0, window_latencies_us=[9.0, 10.0, 22.0, 8.0],
+            nodes=[{"node": "n0_src", "cycles_total": 400}],
+            provenance=Provenance(session="s", engine="compiled"))
+        rebuilt = response_from_json(response.to_json())
+        assert rebuilt == response
+        assert rebuilt.to_json() == response.to_json()
+        data = json.loads(response.to_json())
+        assert data["kind"] == "app.response"
+        assert data["deadline_miss_rate"] == 0.25
 
     def test_fidelity_validation(self):
         with pytest.raises(ValueError):
@@ -189,6 +235,25 @@ class TestRequestValidation:
             ExploreRequest(objective="vibes")
         with pytest.raises(ValueError):
             ExploreRequest(space={"warp_factors": [9]})
+
+    def test_app_request_needs_exactly_one_application_source(self):
+        with pytest.raises(ValueError):
+            AppRequest()
+        with pytest.raises(ValueError):
+            AppRequest(topology="chain",
+                       application={"name": "a", "nodes": []})
+        with pytest.raises(ValueError):
+            AppRequest(topology="ring")
+        with pytest.raises(ValueError):
+            AppRequest(topology="chain", engine="cycle")
+        with pytest.raises(ValueError):
+            AppRequest(topology="chain", windows=0)
+
+    def test_explore_rejects_malformed_application(self):
+        with pytest.raises(ValueError):
+            ExploreRequest(application={"bogus": True})
+        with pytest.raises(ValueError):
+            ExploreRequest(application="not-a-mapping")
 
     def test_matrix_needs_serializable_machines(self):
         with pytest.raises(ValueError):
@@ -489,6 +554,42 @@ class TestMatrixEngineAndExports:
         assert data["rows"] == json.loads(json.dumps(result.to_rows()))
 
 
+class TestAppExecution:
+    def test_session_app_request_runs_and_round_trips(self, api_session):
+        response = api_session.execute(AppRequest(
+            topology="chain", app_seed=11, windows=4,
+            deadline_us=30.0, period_us=30.0, engine="compiled"))
+        assert response.kind == "app.response"
+        assert response.correct
+        assert response.windows == 4
+        assert response.fingerprint
+        assert len(response.window_latencies_us) == 4
+        assert response_from_json(response.to_json()) == response
+
+    def test_serialized_spec_equals_generator_recipe(self, api_session,
+                                                     app_spec):
+        spec = app_spec("chain")
+        by_recipe = api_session.execute(AppRequest(
+            topology="chain", app_seed=11, windows=4,
+            deadline_us=30.0, period_us=30.0))
+        by_spec = api_session.execute(AppRequest(application=spec.to_dict()))
+        assert by_spec.fingerprint == by_recipe.fingerprint
+        assert by_spec.window_latencies_us == by_recipe.window_latencies_us
+
+    def test_explore_over_application_mix(self, api_session, app_spec):
+        spec = app_spec("chain")
+        response = api_session.execute(ExploreRequest(
+            application=spec.to_dict(), objective="deadline_miss_rate",
+            engine="compiled",
+            space={"issue_widths": [1, 4], "register_counts": [32],
+                   "cluster_counts": [1], "mul_unit_counts": [1],
+                   "mem_unit_counts": [1], "custom_budgets": [0.0]}))
+        assert response.mix == spec.name
+        assert response.points_evaluated == 2
+        assert response.best is not None
+        assert "miss_rate" in response.best
+
+
 class TestCli:
     def test_cli_matrix_emits_schema_versioned_json(self, capsys):
         code = cli_main(["matrix", "--machines", "vliw4,risc_baseline",
@@ -513,6 +614,17 @@ class TestCli:
         assert data["kind"] == "run.response"
         assert data["kernel"] == "dot_product"
         assert data["correct"] is True
+
+    def test_cli_app_runs_a_generated_application(self, capsys):
+        code = cli_main(["app", "--topology", "chain", "--app-seed", "11",
+                         "--windows", "3", "--deadline-us", "30",
+                         "--period-us", "30", "--engine", "compiled"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "app.response"
+        assert data["correct"] is True
+        assert data["windows"] == 3
+        assert len(data["window_latencies_us"]) == 3
 
     def test_cli_rejects_bad_request(self, capsys):
         code = cli_main(["customize", "--kernel", "sad16",
