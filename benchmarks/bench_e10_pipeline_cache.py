@@ -17,8 +17,6 @@ root so the compile-path perf trajectory is tracked over time.
 
 from __future__ import annotations
 
-import json
-import platform
 import time
 from pathlib import Path
 
@@ -26,7 +24,7 @@ from repro.dse import DesignSpace
 from repro.pipeline import CompilePipeline
 from repro.workloads import get_kernel
 
-from conftest import print_table, run_once
+from conftest import bench_metric, print_table, run_once, write_baseline
 
 #: kernels swept (a slice of the suite: small, medium, large IR).
 KERNEL_NAMES = ("dot_product", "fir_filter", "sad16")
@@ -114,14 +112,16 @@ def test_e10_pipeline_cache_speedup(benchmark):
         f"bit-identical artifacts: {summary['bit_identical']}."
     )
 
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e10_pipeline_cache",
-        "python": platform.python_version(),
+    write_baseline(OUTPUT, "e10_pipeline_cache", {
         "opt_level": OPT_LEVEL,
         "rows": rows,
         "summary": summary,
-    }, indent=2) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics={
+        "warm_speedup": bench_metric(summary["warm_speedup"], band=4.0,
+                                     floor=3.0),
+        "bit_identical": bench_metric(1.0 if summary["bit_identical"]
+                                      else 0.0, kind="fidelity", floor=1.0),
+    })
 
     # Acceptance: the machine-independent half compiles once per kernel,
     # warm sweeps are >=3x faster, and artifacts are bit-identical.

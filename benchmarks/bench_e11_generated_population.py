@@ -20,9 +20,7 @@ Results land in ``BENCH_generated_population.json`` at the repo root.
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import time
 from pathlib import Path
 
@@ -30,7 +28,7 @@ from repro.arch import vliw4
 from repro.gen import WorkloadPopulation
 from repro.pipeline import CompilePipeline
 
-from conftest import print_table, run_once
+from conftest import bench_metric, print_table, run_once, write_baseline
 
 POPULATION_SIZE = int(os.environ.get("GEN_POPULATION", "100"))
 SEED = 20260730
@@ -98,14 +96,21 @@ def test_e11_generated_population(benchmark):
         f"{summary['mean_gain']}x across {summary['families']} families."
     )
 
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e11_generated_population",
-        "python": platform.python_version(),
+    write_baseline(OUTPUT, "e11_generated_population", {
         "opt_level": OPT_LEVEL,
         "rows": rows,
         "summary": summary,
-    }, indent=2) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics={
+        "valid_fraction": bench_metric(
+            summary["valid_both_engines"] / max(1, summary["population"]),
+            kind="fidelity", floor=1.0),
+        "families": bench_metric(summary["families"], kind="fidelity",
+                                 floor=5, ceiling=5),
+        "warm_speedup": bench_metric(summary["warm_speedup"], band=4.0,
+                                     floor=3.0),
+        "mean_gain": bench_metric(summary["mean_gain"], band=2.0,
+                                  floor=0.99),
+    }, shrunk=POPULATION_SIZE < 100)
 
     # Acceptance: the whole population is self-checking on both engines,
     # every family reports a characterization + gain record, warm compiles

@@ -20,9 +20,7 @@ within the model's declared tolerance.  Results go to
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import time
 from pathlib import Path
 
@@ -31,7 +29,7 @@ from repro.arch import clustered_vliw4, dsp_core, risc_baseline, vliw2, vliw4, v
 from repro.model import TRACE_CYCLE_TOLERANCE
 from repro.toolchain import run_matrix
 
-from conftest import print_table, run_once
+from conftest import bench_metric, print_table, run_once, write_baseline
 
 MACHINES = [risc_baseline(), vliw2(), vliw4(), vliw8(), clustered_vliw4(),
             dsp_core()]
@@ -41,6 +39,11 @@ SIZE = 24
 
 #: acceptance floor for the warm trace-vs-cycle speedup (ISSUE 5).
 MIN_SPEEDUP = 20.0
+
+#: the scale-safe floor the baseline metric declares: the regression
+#: gate holds any fresh run — noisy CI included — to this absolute
+#: bound, while the in-run assertion above uses the env-resolved floor.
+GATE_SPEEDUP_FLOOR = 10.0
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_trace_model.json"
 
@@ -91,9 +94,8 @@ def test_e12_trace_model(benchmark):
           f"{100 * worst_error:.3f}% (tolerance "
           f"{100 * TRACE_CYCLE_TOLERANCE:.0f}%).")
 
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e12_trace_model",
-        "python": platform.python_version(),
+    floor = float(os.environ.get("TRACE_MIN_SPEEDUP", MIN_SPEEDUP))
+    write_baseline(OUTPUT, "e12_trace_model", {
         "size": SIZE,
         "cells": len(rows),
         "cycle_seconds": round(cycle_s, 4),
@@ -103,8 +105,16 @@ def test_e12_trace_model(benchmark):
         "tolerance": TRACE_CYCLE_TOLERANCE,
         "cycle_report": cycle_report.to_dict(),
         "trace_report": trace_report.to_dict(),
-    }, indent=2, sort_keys=True) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics={
+        "speedup": bench_metric(round(speedup, 1), band=4.0,
+                                floor=min(floor, GATE_SPEEDUP_FLOOR)),
+        "worst_cycle_error": bench_metric(
+            round(worst_error, 6), direction="lower", kind="fidelity",
+            ceiling=TRACE_CYCLE_TOLERANCE),
+        "pass_rate": bench_metric(
+            (cycle_report.pass_rate() + trace_report.pass_rate()) / 2,
+            kind="fidelity", floor=1.0),
+    }, shrunk=floor < MIN_SPEEDUP)
 
     assert cycle_report.all_correct, [c.error for c in cycle_report.failures]
     assert trace_report.all_correct, [c.error for c in trace_report.failures]
@@ -112,6 +122,5 @@ def test_e12_trace_model(benchmark):
         assert trace_cell.operations == cycle_cell.operations
         assert trace_cell.code_bytes == cycle_cell.code_bytes
     assert worst_error <= TRACE_CYCLE_TOLERANCE
-    floor = float(os.environ.get("TRACE_MIN_SPEEDUP", MIN_SPEEDUP))
     assert speedup >= floor, (
         f"warm trace fidelity only {speedup:.1f}x faster (floor {floor}x)")

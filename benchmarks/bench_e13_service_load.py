@@ -23,9 +23,7 @@ hundreds of requests); ``E13_CLIENTS``, ``E13_REQUESTS_PER_CLIENT``,
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import threading
 import time
 from pathlib import Path
@@ -35,7 +33,9 @@ from repro.api.requests import MatrixRequest, RunRequest
 from repro.obs import snapshot_quantile, snapshot_value
 from repro.service import CELL_STAGE, ServiceClient, ServiceDaemon
 
-from conftest import print_table, run_once, shrink_knob
+from conftest import (
+    bench_metric, print_table, run_once, shrink_knob, write_baseline,
+)
 
 #: the E5 validation-matrix shape: 6 machines x 7 kernels = 42 cells.
 MACHINES = ["risc32", "vliw2", "vliw4", "vliw8", "vliw4c2", "dsp16"]
@@ -203,9 +203,8 @@ def test_e13_service_load(benchmark, tmp_path, pytestconfig):
           f"{matrix_count} full-matrix responses bit-identical to "
           f"Session.execute.")
 
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e13_service_load",
-        "python": platform.python_version(),
+    floor = float(os.environ.get("E13_MIN_HIT_RATE", MIN_HIT_RATE))
+    write_baseline(OUTPUT, "e13_service_load", {
         "clients": clients,
         "requests_per_client": requests_per_client,
         "workers": workers,
@@ -228,10 +227,16 @@ def test_e13_service_load(benchmark, tmp_path, pytestconfig):
         "queue": stats["queue"],
         "store": {key: stats["store"][key]
                   for key in ("entries", "bytes", "size_budget_bytes")},
-    }, indent=2, sort_keys=True) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics={
+        "cell_hit_rate": bench_metric(round(hit_rate, 4), floor=floor),
+        "failed_jobs": bench_metric(stats["queue"]["failed"],
+                                    kind="fidelity", direction="lower",
+                                    ceiling=0),
+        "throughput_rps": bench_metric(round(throughput, 2), band=10.0),
+        "matrix_responses_checked": bench_metric(
+            matrix_count, floor=1),
+    }, shrunk=bool(pytestconfig.getoption("--shrink")))
 
     assert stats["queue"]["failed"] == 0
-    floor = float(os.environ.get("E13_MIN_HIT_RATE", MIN_HIT_RATE))
     assert hit_rate >= floor, (
         f"fleet cell hit rate {hit_rate:.3f} below the {floor:.2f} floor")

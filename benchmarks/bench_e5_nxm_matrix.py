@@ -9,14 +9,12 @@ support all architectures in range".
 
 from __future__ import annotations
 
-import json
-import platform
 from pathlib import Path
 
 from repro.arch import clustered_vliw4, dsp_core, risc_baseline, vliw2, vliw4, vliw8
 from repro.toolchain import run_matrix
 
-from conftest import print_table, run_once
+from conftest import bench_metric, print_table, run_once, write_baseline
 
 MACHINES = [risc_baseline(), vliw2(), vliw4(), vliw8(), clustered_vliw4(), dsp_core()]
 KERNELS = ["dot_product", "saturated_add", "viterbi_acs", "sad16",
@@ -49,13 +47,16 @@ def test_e5_nxm_matrix(benchmark):
     # The baseline JSON is the report's own schema-versioned export
     # (MatrixReport.to_dict — the same helper the service layer builds
     # its matrix responses from), not an ad-hoc dict.
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e5_nxm_matrix",
-        "python": platform.python_version(),
+    write_baseline(OUTPUT, "e5_nxm_matrix", {
         "size": SIZE,
         "report": report.to_dict(),
-    }, indent=2, sort_keys=True) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics={
+        "pass_rate": bench_metric(report.pass_rate(), kind="fidelity",
+                                  floor=1.0),
+        "cells": bench_metric(len(report.cells), kind="fidelity",
+                              floor=len(MACHINES) * len(KERNELS),
+                              ceiling=len(MACHINES) * len(KERNELS)),
+    })
 
     assert len(report.cells) == len(MACHINES) * len(KERNELS)
     assert report.all_correct, [c.error for c in report.failures]

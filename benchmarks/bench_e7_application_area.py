@@ -24,8 +24,6 @@ Results go to ``BENCH_application_rt.json`` at the repository root.
 
 from __future__ import annotations
 
-import json
-import platform
 from pathlib import Path
 
 from repro.api import Session
@@ -34,7 +32,9 @@ from repro.app import run_application
 from repro.dse import AppEvaluator, ApplicationMix, DesignSpace, Explorer
 from repro.gen import APP_TOPOLOGIES, sample_application
 
-from conftest import print_table, run_once, shrink_knob
+from conftest import (
+    bench_metric, print_table, run_once, shrink_knob, write_baseline,
+)
 
 #: seed shared with tests/_shared.py: the same applications the
 #: differential engine tests prove bit-identical across engines.
@@ -119,9 +119,7 @@ def test_e7_application_rt(benchmark, pytestconfig):
           f"({'different' if perf_winner != deadline_winner else 'same'} "
           f"machines) over {results['performance'].points_evaluated} points.")
 
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e7_application_rt",
-        "python": platform.python_version(),
+    write_baseline(OUTPUT, "e7_application_rt", {
         "seed": APP_SEED,
         "windows": windows,
         "period_us": PERIOD_US,
@@ -131,8 +129,14 @@ def test_e7_application_rt(benchmark, pytestconfig):
         "machine_rows": machine_rows,
         "objective_winners": winner_rows,
         "batch_stats": None,
-    }, indent=2, sort_keys=True) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics={
+        "correct_fraction": bench_metric(
+            sum(1 for row in machine_rows if row["correct"])
+            / max(1, len(machine_rows)), kind="fidelity", floor=1.0),
+        "winners_differ": bench_metric(
+            1.0 if perf_winner != deadline_winner else 0.0,
+            kind="fidelity", floor=1.0),
+    }, shrunk=bool(pytestconfig.getoption("--shrink")))
 
     # Every node of every window on every machine matched its oracle.
     assert all(row["correct"] for row in machine_rows)

@@ -23,7 +23,6 @@ with ``--shrink`` (or the ``E9_*`` env knobs) for the CI smoke scale.
 from __future__ import annotations
 
 import json
-import platform
 import time
 from pathlib import Path
 
@@ -36,7 +35,9 @@ from repro.opt import optimize
 from repro.sim import FunctionalSimulator
 from repro.workloads import get_kernel
 
-from conftest import print_table, run_once, shrink_knob
+from conftest import (
+    bench_metric, print_table, run_once, shrink_knob, write_baseline,
+)
 
 #: (kernel, problem size) — sizes chosen so execution dominates setup.
 CASES = [
@@ -199,9 +200,23 @@ def test_e9_execution_tiers(benchmark, pytestconfig):
                      f"loop")
     print("\nE9 summary: " + "; ".join(lines) + ".")
 
-    OUTPUT.write_text(json.dumps({
-        "experiment": "e9_execution_tiers",
-        "python": platform.python_version(),
+    # Acceptance floors (env-overridable for noisy shared runners).
+    warm_floor = shrink_knob(pytestconfig, "E9_MIN_WARM_SPEEDUP",
+                             2.0, 2.0, cast=float)
+    metrics = {
+        "best_warm_speedup": bench_metric(best, band=4.0, floor=warm_floor),
+        "mean_warm_speedup": bench_metric(summary["mean_warm_speedup"],
+                                          band=4.0),
+    }
+    if has_native:
+        metrics["best_native_speedup"] = bench_metric(
+            summary["best_native_speedup"], band=4.0,
+            floor=shrink_knob(pytestconfig, "E9_MIN_NATIVE_VS_INTERP",
+                              25.0, 5.0, cast=float))
+    if batch_rows:
+        metrics["best_vector_speedup"] = bench_metric(
+            summary["best_vector_speedup"], band=4.0)
+    write_baseline(OUTPUT, "e9_execution_tiers", {
         "repeats": repeats,
         "native_available": has_native,
         "numpy_available": has_numpy,
@@ -209,12 +224,10 @@ def test_e9_execution_tiers(benchmark, pytestconfig):
         "rows": rows,
         "batch_rows": batch_rows,
         "summary": summary,
-    }, indent=2) + "\n")
-    print(f"baseline written to {OUTPUT.name}")
+    }, metrics=metrics,
+        shrunk=bool(pytestconfig.getoption("--shrink")))
 
-    # Acceptance floors (env-overridable for noisy shared runners).
-    assert best >= shrink_knob(pytestconfig, "E9_MIN_WARM_SPEEDUP",
-                               2.0, 2.0, cast=float)
+    assert best >= warm_floor
     if has_native:
         vs_compiled_floor = shrink_knob(
             pytestconfig, "E9_MIN_NATIVE_VS_COMPILED", 5.0, 2.0, cast=float)

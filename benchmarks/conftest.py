@@ -70,3 +70,45 @@ def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+#: BENCH_*.json baseline format version (experiment manifest schema).
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_metric(value, *, kind="perf", direction="higher", band=None,
+                 floor=None, ceiling=None, slack=None):
+    """Declare one gated metric: its value plus the tolerance next to it."""
+    from repro.replay import metric_spec
+
+    return metric_spec(value, kind=kind, direction=direction, band=band,
+                       floor=floor, ceiling=ceiling, slack=slack)
+
+
+def write_baseline(output, experiment: str, payload: Dict[str, object], *,
+                   metrics: Dict[str, Dict[str, object]] = None,
+                   shrunk: bool = False) -> None:
+    """Write one schema-versioned BENCH baseline with env provenance.
+
+    ``metrics`` carries the gated values with their tolerance declared in
+    place (:func:`bench_metric`); ``python -m repro gate`` compares a
+    fresh run against these.  ``shrunk`` records the run scale so the
+    gate never holds a smoke run to full-run relative bands.
+    """
+    import json
+
+    from repro.replay import capture_env, git_revision
+
+    document = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "experiment": experiment,
+        "env": capture_env(),
+        "git_rev": git_revision(),
+        "shrunk": bool(shrunk),
+        "metrics": dict(metrics or {}),
+    }
+    document.update(payload)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline written to {os.path.basename(str(output))}")

@@ -29,6 +29,13 @@ cross-process artifact store::
 Client subcommands find the daemon through ``--endpoint`` or the
 ``REPRO_SERVICE_SOCKET`` environment variable.
 
+The replay subcommands (:mod:`repro.replay`) turn requests into
+replayable experiment manifests and gate regressions in CI::
+
+    python -m repro record --request req.json --output m.json
+    python -m repro replay m.json                 # or a journal .jsonl
+    python -m repro gate experiments --bench-baseline bench-baseline
+
 Exit status is 0 on success; correctness-checking subcommands (``run``,
 ``customize``, ``matrix``, ``gen``, and ``submit --wait``/``result``)
 exit 1 when a result disagrees with its oracle, and 2 on a
@@ -305,6 +312,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output format (default: json)")
     stats_p.add_argument("--pretty", action="store_true")
 
+    record_p = commands.add_parser(
+        "record", help="execute a request and write a replayable "
+                       "experiment manifest (request + stage fingerprints "
+                       "+ response digest + env + git rev)")
+    record_p.add_argument("--request", required=True, metavar="FILE",
+                          help="request JSON file ('-' for stdin)")
+    record_p.add_argument("--output", required=True, metavar="FILE",
+                          help="where the manifest JSON goes")
+    record_p.add_argument("--name", default=None,
+                          help="manifest name (derived from the request "
+                               "if omitted)")
+    record_p.add_argument("--band", type=float, default=None,
+                          help="wall-clock tolerance factor for the "
+                               "elapsed_s perf metric (default 10; fresh "
+                               "replays must finish within "
+                               "recorded*band+1s)")
+    record_p.add_argument("--pretty", action="store_true")
+
+    replay_p = commands.add_parser(
+        "replay", help="re-execute an experiment manifest (or every "
+                       "manifest in a journal/directory), asserting "
+                       "bit-identical stage fingerprints and oracle "
+                       "outputs and reporting per-metric deltas")
+    replay_p.add_argument("target",
+                          help="manifest JSON, journal JSONL, or a "
+                               "directory of either")
+    replay_p.add_argument("--trace-id", default=None,
+                          help="replay only this trace's manifest from a "
+                               "journal")
+    replay_p.add_argument("--report", metavar="FILE", default=None,
+                          help="also write the replay report JSON to FILE")
+    replay_p.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the report JSON instead of the "
+                               "rendered summary")
+    replay_p.add_argument("--pretty", action="store_true")
+
+    gate_p = commands.add_parser(
+        "gate", help="CI regression gate: replay stored manifests and "
+                     "compare fresh BENCH_*.json numbers against "
+                     "baselines with per-metric tolerance bands")
+    gate_p.add_argument("targets", nargs="*",
+                        help="manifest files, journals, or directories "
+                             "to replay")
+    gate_p.add_argument("--bench-baseline", metavar="DIR", default=None,
+                        help="directory holding the stored BENCH_*.json "
+                             "baselines to compare against")
+    gate_p.add_argument("--bench-fresh", metavar="DIR", default=".",
+                        help="directory holding the fresh BENCH_*.json "
+                             "files (default: current directory)")
+    gate_p.add_argument("--report", metavar="FILE", default=None,
+                        help="write the delta report JSON to FILE (the "
+                             "CI artifact)")
+    gate_p.add_argument("--pretty", action="store_true")
+
     inspect_p = commands.add_parser(
         "inspect", help="render one trace (waterfall + summary) from a "
                         "daemon or a journal file")
@@ -546,6 +607,76 @@ def _obs_main(args: argparse.Namespace) -> int:
     raise SchemaError(f"unknown command {args.command!r}")
 
 
+def _replay_main(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from ..replay import (
+        load_manifests, manifest_from_response, replay_manifest, run_gate,
+    )
+
+    if args.command == "record":
+        request = request_from_json(_read_text(args.request))
+        with Session(name="record") as session:
+            started = _time.perf_counter()
+            response = session.execute(request)
+            elapsed = _time.perf_counter() - started
+        manifest = manifest_from_response(
+            request, response, name=args.name or "", source="cli:record",
+            elapsed_s=elapsed, band=args.band)
+        manifest.save(args.output)
+        _emit(args, {"manifest": args.output, "name": manifest.name,
+                     "kind": manifest.kind,
+                     "fingerprints": len(manifest.fingerprints),
+                     "response_fingerprint": manifest.response_fingerprint,
+                     "elapsed_s": round(elapsed, 6)})
+        return 0
+
+    if args.command == "replay":
+        manifests, problems = load_manifests(args.target,
+                                             trace_id=args.trace_id)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if not manifests:
+            print(f"error: no replayable manifests in {args.target!r}",
+                  file=sys.stderr)
+            return 2
+        reports = [replay_manifest(manifest) for manifest in manifests]
+        payload = {"kind": "replay.report", "ok": all(r.ok for r in reports),
+                   "replays": [r.to_dict() for r in reports]}
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+        if args.as_json:
+            _emit(args, payload)
+        else:
+            for report in reports:
+                print(report.render())
+        if problems:
+            return 2
+        return 0 if payload["ok"] else 1
+
+    if args.command == "gate":
+        if not args.targets and not args.bench_baseline:
+            print("error: nothing to gate (pass manifest targets and/or "
+                  "--bench-baseline)", file=sys.stderr)
+            return 2
+        report = run_gate(list(args.targets),
+                          bench_baseline=args.bench_baseline,
+                          bench_fresh=args.bench_fresh)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+                handle.write("\n")
+        print(report.render())
+        if not report.entries:
+            print("error: gate found nothing to check", file=sys.stderr)
+            return 2
+        return 0 if report.ok else 1
+
+    raise SchemaError(f"unknown command {args.command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from ..frontend.c_frontend import CFrontendError
 
@@ -554,6 +685,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _service_main(args)
     if args.command in ("stats", "inspect"):
         return _obs_main(args)
+    if args.command in ("record", "replay", "gate"):
+        try:
+            return _replay_main(args)
+        except (SchemaError, ValueError, KeyError, TypeError,
+                OSError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     try:
         request = _build_request(args)
         with Session(workers=getattr(args, "workers", 0) or 0,

@@ -61,6 +61,12 @@ from .requests import (
 #: monotonically numbers anonymous sessions for provenance labels.
 _SESSION_COUNTER = itertools.count(1)
 
+#: env knob: per-request delay in seconds before the handler runs —
+#: the in-process sibling of ``REPRO_SERVICE_TASK_DELAY_S``, giving the
+#: regression-gate self-tests a deterministic way to inject a slowdown
+#: that must trip the perf band.
+SESSION_DELAY_ENV = "REPRO_SESSION_DELAY_S"
+
 
 def _run_args(args: tuple) -> tuple:
     """Fresh per-run copies so simulator write-backs never alias."""
@@ -263,6 +269,9 @@ class Session:
             raise TypeError(
                 f"unsupported request {type(request).__name__!r}; known "
                 f"kinds: {', '.join(sorted(self._HANDLERS))}")
+        delay = float(os.environ.get(SESSION_DELAY_ENV, "0") or 0.0)
+        if delay > 0:
+            time.sleep(delay)
         with obs_override(self.obs):
             tracer = global_tracer()
             is_root = tracer.current_context() is None
@@ -304,13 +313,34 @@ class Session:
             request_dict = request.to_dict()
         except Exception:  # noqa: BLE001 - manifests are best effort
             request_dict = {"kind": kind}
+        # The replay-completing sections (response digest + fingerprint,
+        # env, git rev, tolerance-banded metrics) make the journal event
+        # a full experiment manifest for ``python -m repro replay``.
+        extra: Dict[str, object] = {}
+        try:
+            from ..replay.manifest import (
+                capture_env, default_replay_metrics, fingerprint_of,
+                git_revision, response_digest,
+            )
+
+            digest = response_digest(response)
+            extra["response"] = digest
+            extra["response_fingerprint"] = fingerprint_of(digest)
+            extra["env"] = capture_env()
+            extra["git_rev"] = git_revision()
+            if provenance is not None:
+                extra["replay_metrics"] = default_replay_metrics(
+                    provenance.elapsed_s)
+        except Exception:  # noqa: BLE001 - manifests are best effort
+            extra = {}
         self.journal.manifest(
             kind=kind, trace_id=trace_id, source=f"session:{self.name}",
             request=request_dict,
             provenance=provenance.to_dict() if provenance is not None
             else None,
             spans=tracer.spans_for(trace_id),
-            metrics=self.registry.snapshot())
+            metrics=self.registry.snapshot(),
+            extra=extra)
 
     def submit(self, request) -> Job:
         """Queue one request; returns a future-backed :class:`Job`."""

@@ -112,8 +112,9 @@ from .trace import (  # noqa: E402
     NULL_SPAN, Span, Tracer, global_tracer, reset_global_tracer,
 )
 from .journal import (  # noqa: E402
-    JOURNAL_SCHEMA_VERSION, ObsJournal, journal_spans, latest_metrics,
-    read_journal, render_trace_summary, render_waterfall, span_depth,
+    JOURNAL_SCHEMA_VERSION, JournalEncodeError, ObsJournal, journal_spans,
+    latest_metrics, read_journal, render_trace_summary, render_waterfall,
+    span_depth,
 )
 
 __all__ = [
@@ -125,7 +126,7 @@ __all__ = [
     "merge_snapshot", "quantile_from_buckets", "render_prometheus",
     "snapshot_quantile", "snapshot_series", "snapshot_value",
     "Span", "Tracer", "NULL_SPAN", "global_tracer", "reset_global_tracer",
-    "ObsJournal", "JOURNAL_SCHEMA_VERSION", "read_journal",
-    "journal_spans", "latest_metrics", "render_waterfall",
+    "ObsJournal", "JOURNAL_SCHEMA_VERSION", "JournalEncodeError",
+    "read_journal", "journal_spans", "latest_metrics", "render_waterfall",
     "render_trace_summary", "span_depth",
 ]

@@ -26,6 +26,51 @@ from typing import Dict, Iterable, List, Mapping, Optional
 JOURNAL_SCHEMA_VERSION = 1
 
 
+class JournalEncodeError(ValueError):
+    """An event holds values that cannot round-trip through JSON.
+
+    Raised instead of silently stringifying (the old ``default=str``
+    behaviour corrupted journaled requests: a stringified payload looks
+    journaled but fails — or worse, silently drifts — through
+    ``Request.from_dict`` on replay).
+    """
+
+
+def _canonical(value, path: str = "event"):
+    """Strictly reduce ``value`` to JSON-round-trippable data.
+
+    Mirrors the ``_plain`` conversion of :mod:`repro.api.requests`
+    (``to_dict`` objects, tuples to lists) but *raises*
+    :class:`JournalEncodeError` — naming the offending path — for
+    anything that would not survive ``json.loads(json.dumps(...))``
+    unchanged.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise JournalEncodeError(
+                f"{path}: non-finite float {value!r} does not round-trip "
+                f"through strict JSON")
+        return value
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise JournalEncodeError(
+                    f"{path}: mapping key {key!r} is not a string (JSON "
+                    f"would coerce it and break the round trip)")
+            out[key] = _canonical(item, f"{path}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item, f"{path}[{index}]")
+                for index, item in enumerate(value)]
+    if hasattr(value, "to_dict"):
+        return _canonical(value.to_dict(), path)
+    raise JournalEncodeError(
+        f"{path}: {type(value).__name__} is not JSON-serializable")
+
+
 class ObsJournal:
     """Append-only JSONL sink of manifest events (thread-safe)."""
 
@@ -37,7 +82,9 @@ class ObsJournal:
         self._lock = threading.Lock()
 
     def write(self, event: Mapping[str, object]) -> None:
-        line = json.dumps(dict(event), sort_keys=True, default=str)
+        """Append one event; raises :class:`JournalEncodeError` when the
+        event would not round-trip bit-identically through JSON."""
+        line = json.dumps(_canonical(dict(event)), sort_keys=True)
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
@@ -48,7 +95,14 @@ class ObsJournal:
                  spans: Optional[List[Mapping[str, object]]] = None,
                  metrics: Optional[Mapping[str, object]] = None,
                  extra: Optional[Mapping[str, object]] = None) -> None:
-        """Append one provenance-complete manifest event."""
+        """Append one provenance-complete manifest event.
+
+        Unlike :meth:`write`, a manifest append never raises on bad
+        payloads: any section that is not JSON-round-trippable is
+        dropped and the event is flagged ``degraded`` (with the
+        offending paths), so replay tooling can refuse it explicitly
+        instead of re-executing a silently corrupted request.
+        """
         event: Dict[str, object] = {
             "event": "manifest", "schema_version": JOURNAL_SCHEMA_VERSION,
             "ts": time.time(), "kind": kind, "trace_id": trace_id,
@@ -64,7 +118,16 @@ class ObsJournal:
             event["metrics"] = dict(metrics)
         if extra:
             event.update(dict(extra))
-        self.write(event)
+        degraded: List[str] = []
+        safe: Dict[str, object] = {}
+        for key, value in event.items():
+            try:
+                safe[key] = _canonical(value, key)
+            except JournalEncodeError as exc:
+                degraded.append(str(exc))
+        if degraded:
+            safe["degraded"] = degraded
+        self.write(safe)
 
     def spans(self, trace_id: str,
               spans: List[Mapping[str, object]], source: str) -> None:
@@ -106,15 +169,21 @@ def read_journal(path: str,
 
 def journal_spans(events: Iterable[Mapping[str, object]]
                   ) -> List[Dict[str, object]]:
-    """Union of the spans of every event, deduplicated by span id."""
+    """Union of the spans of every event, deduplicated by span id.
+
+    Spans *without* a span id cannot be identified, so they are all
+    kept — deduplicating them would collapse every id-less span onto
+    the first one seen.
+    """
     seen = set()
     spans: List[Dict[str, object]] = []
     for event in events:
         for span in event.get("spans", []) or []:
             span_id = span.get("span_id")
-            if span_id in seen:
-                continue
-            seen.add(span_id)
+            if span_id is not None:
+                if span_id in seen:
+                    continue
+                seen.add(span_id)
             spans.append(dict(span))
     return spans
 
@@ -125,15 +194,27 @@ def latest_metrics(events: Iterable[Mapping[str, object]]
 
     Snapshots are cumulative, so the latest one *is* the aggregate —
     merging successive snapshots from one source would double count.
+
+    Events whose ``ts`` does not parse as a finite number are skipped
+    (matching :func:`read_journal`'s tolerance of torn/corrupt lines);
+    ``ts`` ties break deterministically toward the later event in
+    journal order.
     """
     newest: Optional[Dict[str, object]] = None
-    newest_ts = float("-inf")
-    for event in events:
+    best_key = None
+    for index, event in enumerate(events):
         metrics = event.get("metrics")
-        if isinstance(metrics, dict) and metrics.get("series"):
+        if not (isinstance(metrics, dict) and metrics.get("series")):
+            continue
+        try:
             ts = float(event.get("ts", 0.0))
-            if ts >= newest_ts:
-                newest, newest_ts = dict(metrics), ts
+        except (TypeError, ValueError):
+            continue
+        if ts != ts:  # NaN never orders; treat as unparseable
+            continue
+        key = (ts, index)
+        if best_key is None or key >= best_key:
+            newest, best_key = dict(metrics), key
     return newest
 
 

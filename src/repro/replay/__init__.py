@@ -1,0 +1,40 @@
+"""``repro.replay`` — replayable experiment manifests + regression gates.
+
+The layer that turns the benchmark suite into a contract: every
+benchmark run and journaled request becomes a provenance-complete
+:class:`ExperimentManifest` (request JSON + stage fingerprints +
+response digest + env + git revision + tolerance-banded metrics) that
+:func:`replay_manifest` re-executes through a fresh Session, asserting
+bit-identical compile fingerprints and oracle outputs and reporting
+per-metric deltas.  :func:`run_gate` is the CI entry: it replays
+stored manifests and compares fresh ``BENCH_*.json`` numbers against
+baselines, failing on fidelity regressions outright and on perf
+regressions outside each metric's declared band.
+
+CLI: ``python -m repro record | replay | gate``.
+"""
+
+from .manifest import (
+    DEFAULT_ELAPSED_BAND, MANIFEST_KIND, MANIFEST_SCHEMA_VERSION,
+    ExperimentManifest, ManifestError, capture_env, check_metric,
+    default_replay_metrics, fingerprint_of, git_revision, load_manifests,
+    manifest_from_event, manifest_from_response, metric_spec,
+    response_digest, stage_fingerprints,
+)
+from .replay import MetricDelta, ReplayReport, replay_all, replay_manifest
+from .gate import (
+    GATE_SCHEMA_VERSION, GateEntry, GateReport, compare_bench,
+    gate_bench_dirs, gate_manifests, run_gate,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION", "MANIFEST_KIND", "DEFAULT_ELAPSED_BAND",
+    "ExperimentManifest", "ManifestError",
+    "capture_env", "git_revision", "fingerprint_of", "response_digest",
+    "stage_fingerprints", "metric_spec", "check_metric",
+    "default_replay_metrics", "manifest_from_event",
+    "manifest_from_response", "load_manifests",
+    "MetricDelta", "ReplayReport", "replay_manifest", "replay_all",
+    "GATE_SCHEMA_VERSION", "GateEntry", "GateReport",
+    "compare_bench", "gate_bench_dirs", "gate_manifests", "run_gate",
+]

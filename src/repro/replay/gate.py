@@ -1,0 +1,209 @@
+"""The CI regression gate: replay manifests, compare BENCH baselines.
+
+Two checks compose one gate:
+
+* **manifest replay** — every experiment manifest under the given
+  targets is re-executed through :func:`~repro.replay.replay_manifest`;
+  a fingerprint/oracle mismatch (fidelity) fails outright, a metric
+  outside its declared band (perf) fails too.  Degraded journal events
+  — flagged by :meth:`repro.obs.ObsJournal.manifest` when a section was
+  not round-trippable — fail the gate explicitly rather than being
+  skipped.
+* **BENCH comparison** — fresh ``BENCH_*.json`` files (the benchmark
+  harness output) are compared against stored baselines using the
+  tolerance declared *next to each metric in the baseline*.  Absolute
+  floors/ceilings always apply; relative bands only when both runs
+  were at the same scale (the ``shrunk`` flag matches), so a shrunk CI
+  smoke run is never held to full-run numbers it cannot reach.
+
+``python -m repro gate`` wires this up and exits non-zero on any
+regression; the report JSON is the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .manifest import check_metric, load_manifests
+from .replay import ReplayReport, replay_manifest
+
+#: gate report format version.
+GATE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class GateEntry:
+    """One gated item: a replayed manifest or one compared BENCH metric."""
+
+    target: str
+    check: str            # "replay" | "bench" | "load"
+    ok: bool
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"target": self.target, "check": self.check, "ok": self.ok,
+                "detail": dict(self.detail)}
+
+
+@dataclass
+class GateReport:
+    """Everything one gate run checked, pass/fail per entry."""
+
+    entries: List[GateEntry] = field(default_factory=list)
+    started_ts: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.entries) and all(e.ok for e in self.entries)
+
+    @property
+    def failures(self) -> List[GateEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "gate.report",
+            "schema_version": GATE_SCHEMA_VERSION,
+            "ok": self.ok,
+            "checked": len(self.entries),
+            "failed": len(self.failures),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def render(self) -> str:
+        lines = []
+        for entry in self.entries:
+            mark = "ok " if entry.ok else "FAIL"
+            note = entry.detail.get("note", "")
+            lines.append(f"[{mark}] {entry.check:<6} {entry.target}"
+                         + (f"  {note}" if note and not entry.ok else ""))
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"gate: {verdict} ({len(self.entries)} checks, "
+                     f"{len(self.failures)} failed)")
+        return "\n".join(lines)
+
+
+def gate_manifests(targets: List[str], *, trace_id: Optional[str] = None,
+                   session=None) -> Tuple[List[GateEntry],
+                                          List[ReplayReport]]:
+    """Replay every manifest under ``targets``; one entry per manifest."""
+    entries: List[GateEntry] = []
+    reports: List[ReplayReport] = []
+    for target in targets:
+        manifests, problems = load_manifests(target, trace_id=trace_id)
+        for problem in problems:
+            entries.append(GateEntry(
+                target=target, check="load", ok=False,
+                detail={"note": problem}))
+        for manifest in manifests:
+            report = replay_manifest(manifest, session=session)
+            reports.append(report)
+            note = ""
+            if not report.ok:
+                reasons = ([report.error] if report.error else []) \
+                    + report.fingerprint_mismatches[:3] \
+                    + report.response_mismatches[:3] \
+                    + [f"{d.name}: {d.note}" for d in report.deltas
+                       if not d.ok][:3]
+                note = "; ".join(r for r in reasons if r)
+            entries.append(GateEntry(
+                target=manifest.name, check="replay", ok=report.ok,
+                detail={"note": note, "report": report.to_dict()}))
+    return entries, reports
+
+
+def compare_bench(baseline: Mapping[str, object],
+                  fresh: Mapping[str, object],
+                  name: str = "") -> List[GateEntry]:
+    """Per-metric entries comparing a fresh BENCH file to its baseline.
+
+    The tolerance lives in the *baseline*: each metric's declared
+    floor/ceiling always applies; the relative band only when the two
+    runs are at the same scale (``shrunk`` flags match).
+    """
+    entries: List[GateEntry] = []
+    metrics = baseline.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        entries.append(GateEntry(
+            target=name, check="bench", ok=True,
+            detail={"note": "baseline declares no gated metrics "
+                            "(pre-manifest schema); skipped"}))
+        return entries
+    comparable = bool(baseline.get("shrunk")) == bool(fresh.get("shrunk"))
+    fresh_metrics = fresh.get("metrics")
+    fresh_metrics = fresh_metrics if isinstance(fresh_metrics, Mapping) \
+        else {}
+    for metric_name, spec in sorted(metrics.items()):
+        target = f"{name}:{metric_name}"
+        fresh_spec = fresh_metrics.get(metric_name)
+        if not isinstance(fresh_spec, Mapping) or "value" not in fresh_spec:
+            entries.append(GateEntry(
+                target=target, check="bench", ok=False,
+                detail={"note": "metric missing from the fresh baseline"}))
+            continue
+        ok, note = check_metric(spec, fresh_spec.get("value"),
+                                relative_ok=comparable)
+        entries.append(GateEntry(
+            target=target, check="bench", ok=ok,
+            detail={"note": note if not ok else
+                    ("ok" if comparable else "ok (absolute bounds only: "
+                     "baseline/fresh at different scales)"),
+                    "recorded": spec.get("value"),
+                    "fresh": fresh_spec.get("value"),
+                    "kind": spec.get("kind", "perf")}))
+    return entries
+
+
+def gate_bench_dirs(baseline_dir: str, fresh_dir: str) -> List[GateEntry]:
+    """Compare every ``BENCH_*.json`` common to both directories."""
+    entries: List[GateEntry] = []
+    try:
+        names = sorted(entry for entry in os.listdir(baseline_dir)
+                       if entry.startswith("BENCH_")
+                       and entry.endswith(".json"))
+    except OSError as exc:
+        return [GateEntry(target=baseline_dir, check="bench", ok=False,
+                          detail={"note": f"cannot list baselines: {exc}"})]
+    if not names:
+        return [GateEntry(target=baseline_dir, check="bench", ok=False,
+                          detail={"note": "no BENCH_*.json baselines"})]
+    for bench in names:
+        fresh_path = os.path.join(fresh_dir, bench)
+        if not os.path.exists(fresh_path):
+            entries.append(GateEntry(
+                target=bench, check="bench", ok=True,
+                detail={"note": "no fresh run for this baseline; skipped"}))
+            continue
+        try:
+            with open(os.path.join(baseline_dir, bench),
+                      encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            with open(fresh_path, encoding="utf-8") as handle:
+                fresh = json.load(handle)
+        except (OSError, ValueError) as exc:
+            entries.append(GateEntry(
+                target=bench, check="bench", ok=False,
+                detail={"note": f"unreadable: {exc}"}))
+            continue
+        entries.extend(compare_bench(baseline, fresh, name=bench))
+    return entries
+
+
+def run_gate(targets: Optional[List[str]] = None, *,
+             bench_baseline: Optional[str] = None,
+             bench_fresh: str = ".",
+             trace_id: Optional[str] = None,
+             session=None) -> GateReport:
+    """The full gate: manifest replays plus BENCH baseline comparison."""
+    report = GateReport(started_ts=time.time())
+    if targets:
+        entries, _ = gate_manifests(targets, trace_id=trace_id,
+                                    session=session)
+        report.entries.extend(entries)
+    if bench_baseline:
+        report.entries.extend(gate_bench_dirs(bench_baseline, bench_fresh))
+    return report

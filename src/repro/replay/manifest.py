@@ -1,0 +1,444 @@
+"""Experiment manifests: provenance-complete, replayable run records.
+
+An :class:`ExperimentManifest` ties one executed request to everything
+needed to re-produce — and then *verify* — its numbers:
+
+* the request JSON (round-trippable through
+  :func:`repro.api.requests.request_from_dict`);
+* the content fingerprints of every compile stage the request touched
+  (``provenance.stages`` — the bit-identity contract of the pipeline);
+* a deterministic digest of the response (everything but provenance:
+  oracle outputs, cycles, latencies, rows) plus its fingerprint hash;
+* the engine/fidelity that served it, the environment it ran in
+  (python, platform, engine knobs), and the git revision;
+* named metrics with *tolerance declarations next to each value* —
+  fidelity metrics must reproduce exactly, perf metrics within a band.
+
+Manifests come from three places and all replay the same way:
+
+* ``python -m repro record`` executes a request and writes one;
+* every journaled root request (``Session.execute`` under ``--obs
+  trace --journal``) is a manifest event — :func:`manifest_from_event`
+  lifts it out;
+* the benchmark harness (``benchmarks/conftest.write_baseline``)
+  shares :func:`capture_env` / :func:`git_revision` / the metric-spec
+  vocabulary for the ``BENCH_*.json`` baselines.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: manifest format version; bump on breaking change.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: the ``kind`` marker of a standalone manifest file.
+MANIFEST_KIND = "experiment.manifest"
+
+#: default wall-clock tolerance: fresh elapsed must stay within
+#: ``recorded * band + slack`` seconds.  The band is deliberately wide
+#: (shared CI runners are noisy) and the absolute slack keeps
+#: sub-100ms recordings from producing meaninglessly tight gates.
+DEFAULT_ELAPSED_BAND = 10.0
+DEFAULT_ELAPSED_SLACK_S = 1.0
+
+#: response keys never compared on replay (wall-clock, cache state,
+#: worker/trace identity all live under provenance).
+VOLATILE_RESPONSE_KEYS = frozenset({"provenance"})
+
+
+class ManifestError(ValueError):
+    """A manifest (or journal event) cannot be used for replay."""
+
+
+def capture_env() -> Dict[str, str]:
+    """The environment facts a manifest records (informational)."""
+    import platform
+
+    env = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    for knob in ("REPRO_ENGINE", "REPRO_OBS", "REPRO_NATIVE_CC"):
+        value = os.environ.get(knob)
+        if value:
+            env[knob] = value
+    return env
+
+
+@functools.lru_cache(maxsize=4)
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The current git revision ("" when not in a repo / git missing)."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return result.stdout.strip() if result.returncode == 0 else ""
+
+
+def canonical_json(data) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_of(data) -> str:
+    """Content fingerprint of any JSON-representable value."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def response_digest(response) -> Dict[str, object]:
+    """The deterministic part of a response (oracle outputs + numbers).
+
+    Everything the simulated system computes — values, cycles,
+    latencies, energy, rows — is deterministic for a fixed request;
+    only provenance (wall-clock, cache hits, worker/trace ids) varies
+    run to run, so it is excluded.
+    """
+    data = response.to_dict() if hasattr(response, "to_dict") \
+        else dict(response)
+    return {key: value for key, value in data.items()
+            if key not in VOLATILE_RESPONSE_KEYS}
+
+
+def stage_fingerprints(provenance) -> List[Dict[str, str]]:
+    """The ``(stage, key)`` fingerprint sequence of a provenance record.
+
+    ``hit`` and ``seconds`` are dropped: cache temperature and timing
+    legitimately differ between record and replay; the content keys
+    must not.
+    """
+    if provenance is None:
+        return []
+    data = provenance.to_dict() if hasattr(provenance, "to_dict") \
+        else dict(provenance)
+    return [{"stage": str(record.get("stage", "")),
+             "key": str(record.get("key", ""))}
+            for record in data.get("stages", []) or []]
+
+
+# ----------------------------------------------------------------------
+# Metric specs: a value plus the tolerance declared next to it.
+# ----------------------------------------------------------------------
+
+def metric_spec(value, *, kind: str = "perf", direction: str = "higher",
+                band: Optional[float] = None, floor: Optional[float] = None,
+                ceiling: Optional[float] = None,
+                slack: float = 0.0) -> Dict[str, object]:
+    """One named metric with its tolerance declaration.
+
+    ``kind``      — "fidelity" (must reproduce) or "perf" (noisy).
+    ``direction`` — which way is better ("higher" or "lower").
+    ``band``      — relative tolerance factor versus the recorded value
+                    (a regression beyond ``value*band`` / ``value/band``
+                    fails); None makes the metric report-only unless a
+                    floor/ceiling is declared.
+    ``floor`` / ``ceiling`` — absolute acceptance bounds (scale-safe:
+                    they hold even when baseline and fresh runs used
+                    different problem sizes).
+    ``slack``     — absolute slack added to the relative band (keeps
+                    tiny recorded values from over-tightening it).
+    """
+    if kind not in ("perf", "fidelity"):
+        raise ValueError(f"metric kind must be perf|fidelity, not {kind!r}")
+    if direction not in ("higher", "lower"):
+        raise ValueError(
+            f"metric direction must be higher|lower, not {direction!r}")
+    spec: Dict[str, object] = {
+        "value": value, "kind": kind, "direction": direction,
+    }
+    if band is not None:
+        spec["band"] = float(band)
+    if floor is not None:
+        spec["floor"] = float(floor)
+    if ceiling is not None:
+        spec["ceiling"] = float(ceiling)
+    if slack:
+        spec["slack"] = float(slack)
+    return spec
+
+
+def check_metric(spec: Mapping[str, object], fresh,
+                 *, relative_ok: bool = True) -> Tuple[bool, str]:
+    """Check a fresh value against a metric spec's declared tolerance.
+
+    Returns ``(ok, note)``.  ``relative_ok=False`` disables the
+    relative band (used when baseline and fresh runs are at different
+    scales and only the absolute floor/ceiling bounds are meaningful).
+    """
+    recorded = spec.get("value")
+    try:
+        fresh_f = float(fresh)
+    except (TypeError, ValueError):
+        return False, f"fresh value {fresh!r} is not numeric"
+    floor = spec.get("floor")
+    if floor is not None and fresh_f < float(floor) - 1e-9:
+        return False, f"{fresh_f:g} below the declared floor {floor:g}"
+    ceiling = spec.get("ceiling")
+    if ceiling is not None and fresh_f > float(ceiling) + 1e-9:
+        return False, f"{fresh_f:g} above the declared ceiling {ceiling:g}"
+    band = spec.get("band")
+    slack = float(spec.get("slack", 0.0) or 0.0)
+    if band is not None and relative_ok:
+        try:
+            recorded_f = float(recorded)
+        except (TypeError, ValueError):
+            return False, f"recorded value {recorded!r} is not numeric"
+        if spec.get("direction") == "lower":
+            limit = recorded_f * float(band) + slack
+            if fresh_f > limit:
+                return False, (f"{fresh_f:g} beyond the band "
+                               f"(recorded {recorded_f:g} x {band:g} "
+                               f"+ {slack:g} = {limit:g})")
+        else:
+            limit = recorded_f / float(band) - slack
+            if fresh_f < limit:
+                return False, (f"{fresh_f:g} beyond the band "
+                               f"(recorded {recorded_f:g} / {band:g} "
+                               f"- {slack:g} = {limit:g})")
+    if spec.get("kind") == "fidelity" and band is None \
+            and floor is None and ceiling is None:
+        try:
+            recorded_f = float(recorded)
+        except (TypeError, ValueError):
+            return False, f"recorded value {recorded!r} is not numeric"
+        if abs(fresh_f - recorded_f) > 1e-9 * max(1.0, abs(recorded_f)):
+            return False, (f"fidelity metric drifted: recorded "
+                           f"{recorded_f:g}, fresh {fresh_f:g}")
+    return True, "ok"
+
+
+def default_replay_metrics(elapsed_s: float,
+                           band: Optional[float] = None
+                           ) -> Dict[str, Dict[str, object]]:
+    """The metric set every manifest carries: end-to-end wall clock."""
+    return {"elapsed_s": metric_spec(
+        round(float(elapsed_s), 6), kind="perf", direction="lower",
+        band=band if band is not None else DEFAULT_ELAPSED_BAND,
+        slack=DEFAULT_ELAPSED_SLACK_S)}
+
+
+# ----------------------------------------------------------------------
+# The manifest itself.
+# ----------------------------------------------------------------------
+
+@dataclass
+class ExperimentManifest:
+    """One replayable experiment: request + fingerprints + expectations."""
+
+    name: str = ""
+    #: request kind ("run", "matrix", ...).
+    kind: str = ""
+    #: the round-trippable request JSON.
+    request: Dict[str, object] = field(default_factory=dict)
+    #: ordered ``{stage, key}`` content fingerprints to reproduce.
+    fingerprints: List[Dict[str, str]] = field(default_factory=list)
+    #: deterministic response digest (oracle outputs and numbers).
+    response: Dict[str, object] = field(default_factory=dict)
+    #: sha256 of the canonical response digest.
+    response_fingerprint: str = ""
+    engine: str = ""
+    fidelity: str = ""
+    #: named metrics, each with its tolerance declaration.
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    env: Dict[str, object] = field(default_factory=dict)
+    git_rev: str = ""
+    created_ts: float = 0.0
+    source: str = ""
+    trace_id: str = ""
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["manifest_kind"] = MANIFEST_KIND
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentManifest":
+        payload = dict(data)
+        marker = payload.pop("manifest_kind", MANIFEST_KIND)
+        if marker != MANIFEST_KIND:
+            raise ManifestError(
+                f"not an experiment manifest (manifest_kind={marker!r})")
+        version = payload.get("schema_version", MANIFEST_SCHEMA_VERSION)
+        if not isinstance(version, int) \
+                or not 1 <= version <= MANIFEST_SCHEMA_VERSION:
+            raise ManifestError(
+                f"unsupported manifest schema_version {version!r} (this "
+                f"build understands 1..{MANIFEST_SCHEMA_VERSION})")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        manifest = cls(**{k: v for k, v in payload.items() if k in known})
+        if not manifest.request or not manifest.request.get("kind"):
+            raise ManifestError(
+                f"manifest {manifest.name or '?'} has no replayable "
+                f"request payload")
+        return manifest
+
+    def save(self, path: str, indent: int = 2) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=indent) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def manifest_from_response(request, response, *, name: str = "",
+                           source: str = "record",
+                           elapsed_s: Optional[float] = None,
+                           band: Optional[float] = None,
+                           extra_metrics: Optional[Mapping] = None
+                           ) -> ExperimentManifest:
+    """Build a manifest from an executed request/response pair."""
+    provenance = getattr(response, "provenance", None)
+    digest = response_digest(response)
+    request_dict = request.to_dict() if hasattr(request, "to_dict") \
+        else dict(request)
+    kind = str(request_dict.get("kind", ""))
+    if elapsed_s is None:
+        elapsed_s = float(getattr(provenance, "elapsed_s", 0.0) or 0.0)
+    metrics = default_replay_metrics(elapsed_s, band=band)
+    if extra_metrics:
+        metrics.update({str(k): dict(v) for k, v in extra_metrics.items()})
+    return ExperimentManifest(
+        name=name or f"{kind}-{fingerprint_of(request_dict)[:12]}",
+        kind=kind, request=request_dict,
+        fingerprints=stage_fingerprints(provenance),
+        response=digest, response_fingerprint=fingerprint_of(digest),
+        engine=str(getattr(provenance, "engine", "") or ""),
+        fidelity=str(getattr(provenance, "fidelity", "") or ""),
+        metrics=metrics, env=capture_env(), git_rev=git_revision(),
+        created_ts=time.time(), source=source,
+        trace_id=str(getattr(provenance, "trace_id", "") or ""))
+
+
+def manifest_from_event(event: Mapping[str, object]) -> ExperimentManifest:
+    """Lift an experiment manifest out of a journal manifest event.
+
+    Degraded events (flagged by :meth:`repro.obs.ObsJournal.manifest`
+    when a section was not JSON-round-trippable) are refused — their
+    request payloads cannot be trusted to replay bit-identically.
+    """
+    if event.get("event") != "manifest":
+        raise ManifestError(
+            f"journal event is a {event.get('event')!r}, not a manifest")
+    if event.get("degraded"):
+        raise ManifestError(
+            "journal manifest is flagged degraded (non-round-trippable "
+            f"sections): {event['degraded']}")
+    request = event.get("request")
+    if not isinstance(request, Mapping) or not request.get("kind"):
+        raise ManifestError(
+            "journal manifest carries no replayable request payload")
+    provenance = event.get("provenance") or {}
+    response = event.get("response")
+    response = dict(response) if isinstance(response, Mapping) else {}
+    metrics = event.get("replay_metrics")
+    if not isinstance(metrics, Mapping):
+        elapsed = 0.0
+        if isinstance(provenance, Mapping):
+            try:
+                elapsed = float(provenance.get("elapsed_s", 0.0) or 0.0)
+            except (TypeError, ValueError):
+                elapsed = 0.0
+        metrics = default_replay_metrics(elapsed)
+    trace_id = str(event.get("trace_id", "") or "")
+    kind = str(event.get("kind") or request.get("kind") or "")
+    return ExperimentManifest(
+        name=f"{kind}-{trace_id[:12] or 'journal'}",
+        kind=kind, request=dict(request),
+        fingerprints=stage_fingerprints(provenance),
+        response=response,
+        response_fingerprint=str(event.get("response_fingerprint", "")
+                                 or (fingerprint_of(response)
+                                     if response else "")),
+        engine=str(provenance.get("engine", "")
+                   if isinstance(provenance, Mapping) else ""),
+        fidelity=str(provenance.get("fidelity", "")
+                     if isinstance(provenance, Mapping) else ""),
+        metrics={str(k): dict(v) for k, v in metrics.items()},
+        env=dict(event.get("env") or {}),
+        git_rev=str(event.get("git_rev", "") or ""),
+        created_ts=float(event.get("ts", 0.0) or 0.0)
+        if _is_number(event.get("ts")) else 0.0,
+        source=str(event.get("source", "") or ""),
+        trace_id=trace_id)
+
+
+def _is_number(value) -> bool:
+    try:
+        float(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def load_manifests(path: str, trace_id: Optional[str] = None
+                   ) -> Tuple[List[ExperimentManifest], List[str]]:
+    """Manifests from a file, journal, or directory.
+
+    Accepts a standalone manifest ``.json``, a journal ``.jsonl`` (all
+    manifest events, optionally filtered by ``trace_id``), or a
+    directory (every ``*.json``/``*.jsonl`` inside, sorted).  Returns
+    ``(manifests, problems)`` where ``problems`` names events/files
+    that were flagged (degraded journal events among them) — callers
+    decide whether a flagged source fails the run.
+    """
+    manifests: List[ExperimentManifest] = []
+    problems: List[str] = []
+    if os.path.isdir(path):
+        names = sorted(entry for entry in os.listdir(path)
+                       if entry.endswith((".json", ".jsonl")))
+        for name in names:
+            sub, sub_problems = load_manifests(
+                os.path.join(path, name), trace_id)
+            manifests.extend(sub)
+            problems.extend(sub_problems)
+        return manifests, problems
+
+    if path.endswith(".jsonl"):
+        from ..obs import read_journal
+
+        events = read_journal(path, trace_id=trace_id)
+        for event in events:
+            if event.get("event") != "manifest":
+                continue
+            try:
+                manifests.append(manifest_from_event(event))
+            except ManifestError as exc:
+                problems.append(f"{path}: {exc}")
+        return manifests, problems
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        problems.append(f"{path}: {exc}")
+        return manifests, problems
+    if not isinstance(data, Mapping):
+        problems.append(f"{path}: not a JSON object")
+        return manifests, problems
+    try:
+        if data.get("event") == "manifest":
+            manifest = manifest_from_event(data)
+        else:
+            manifest = ExperimentManifest.from_dict(data)
+        if trace_id is None or manifest.trace_id == trace_id:
+            manifests.append(manifest)
+    except ManifestError as exc:
+        problems.append(f"{path}: {exc}")
+    return manifests, problems

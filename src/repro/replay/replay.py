@@ -1,0 +1,237 @@
+"""Re-execute an experiment manifest and verify it reproduced.
+
+:func:`replay_manifest` rebuilds the manifest's request, executes it
+through a fresh :class:`~repro.api.Session`, and checks three layers:
+
+* **stage fingerprints** — the ``(stage, key)`` content-hash sequence
+  of the compile pipeline must match bit-identically (cache hits and
+  timings may differ; the artifacts must not);
+* **response digest** — every deterministic response field (oracle
+  outputs, cycles, latencies, rows) must match the recorded digest;
+* **metrics** — each recorded metric is compared against the fresh run
+  within its declared tolerance band (wall clock is perf-banded,
+  fidelity metrics must reproduce exactly).
+
+The first two are the *fidelity* gate (any mismatch fails outright);
+the metric bands are the *perf* gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .manifest import (
+    ExperimentManifest, check_metric, fingerprint_of, response_digest,
+    stage_fingerprints,
+)
+
+#: cap on reported mismatch paths (the report is for humans).
+MAX_MISMATCHES = 25
+
+
+def _diff(recorded, fresh, path: str, out: List[str]) -> None:
+    """Collect the paths where two JSON values differ."""
+    if len(out) >= MAX_MISMATCHES:
+        return
+    if isinstance(recorded, Mapping) and isinstance(fresh, Mapping):
+        for key in sorted(set(recorded) | set(fresh)):
+            if key not in recorded:
+                out.append(f"{path}.{key}: unexpected in fresh response")
+            elif key not in fresh:
+                out.append(f"{path}.{key}: missing from fresh response")
+            else:
+                _diff(recorded[key], fresh[key], f"{path}.{key}", out)
+            if len(out) >= MAX_MISMATCHES:
+                return
+        return
+    if isinstance(recorded, list) and isinstance(fresh, list):
+        if len(recorded) != len(fresh):
+            out.append(f"{path}: length {len(recorded)} -> {len(fresh)}")
+            return
+        for index, (a, b) in enumerate(zip(recorded, fresh)):
+            _diff(a, b, f"{path}[{index}]", out)
+            if len(out) >= MAX_MISMATCHES:
+                return
+        return
+    if isinstance(recorded, float) and isinstance(fresh, (int, float)):
+        if abs(recorded - float(fresh)) <= 1e-12 * max(
+                1.0, abs(recorded), abs(float(fresh))):
+            return
+    if recorded != fresh:
+        out.append(f"{path}: {recorded!r} -> {fresh!r}")
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared between the manifest and the fresh run."""
+
+    name: str
+    recorded: object
+    fresh: object
+    ok: bool
+    kind: str = "perf"
+    note: str = "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "recorded": self.recorded,
+                "fresh": self.fresh, "ok": self.ok,
+                "kind": self.kind, "note": self.note}
+
+
+@dataclass
+class ReplayReport:
+    """What one manifest replay found."""
+
+    name: str = ""
+    kind: str = ""
+    ok: bool = False
+    fidelity_ok: bool = False
+    perf_ok: bool = False
+    fingerprints_expected: int = 0
+    fingerprint_mismatches: List[str] = field(default_factory=list)
+    response_mismatches: List[str] = field(default_factory=list)
+    deltas: List[MetricDelta] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name, "kind": self.kind, "ok": self.ok,
+            "fidelity_ok": self.fidelity_ok, "perf_ok": self.perf_ok,
+            "fingerprints_expected": self.fingerprints_expected,
+            "fingerprint_mismatches": list(self.fingerprint_mismatches),
+            "response_mismatches": list(self.response_mismatches),
+            "metrics": [delta.to_dict() for delta in self.deltas],
+            "elapsed_s": round(self.elapsed_s, 6),
+            "error": self.error,
+        }
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        lines = [f"replay {self.name} [{self.kind}] ... {status} "
+                 f"({self.elapsed_s * 1e3:.1f} ms, "
+                 f"{self.fingerprints_expected} stage fingerprints)"]
+        if self.error:
+            lines.append(f"  error     : {self.error}")
+        for mismatch in self.fingerprint_mismatches:
+            lines.append(f"  fingerprint mismatch: {mismatch}")
+        for mismatch in self.response_mismatches:
+            lines.append(f"  response mismatch   : {mismatch}")
+        for delta in self.deltas:
+            mark = "ok " if delta.ok else "OUT"
+            lines.append(f"  metric {delta.name:<24} [{mark}] recorded "
+                         f"{delta.recorded!r} fresh {delta.fresh!r}"
+                         + ("" if delta.ok else f"  ({delta.note})"))
+        return "\n".join(lines)
+
+
+def _resolve_metric(name: str, spec: Mapping[str, object], provenance,
+                    digest: Mapping[str, object], elapsed_s: float):
+    """The fresh value a manifest metric compares against."""
+    if name == "elapsed_s":
+        return elapsed_s
+    path = spec.get("path")
+    if isinstance(path, str) and path:
+        value: object = digest
+        for part in path.split("."):
+            if not isinstance(value, Mapping) or part not in value:
+                return None
+            value = value[part]
+        return value
+    return digest.get(name)
+
+
+def replay_manifest(manifest: ExperimentManifest, *,
+                    session=None) -> ReplayReport:
+    """Re-execute one manifest and compare against its expectations."""
+    from ..api.requests import request_from_dict
+    from ..api.session import Session
+
+    report = ReplayReport(
+        name=manifest.name, kind=manifest.kind,
+        fingerprints_expected=len(manifest.fingerprints))
+    try:
+        request = request_from_dict(manifest.request)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+        report.error = f"request does not round-trip: {exc}"
+        return report
+
+    own_session = session is None
+    if own_session:
+        session = Session(name=f"replay-{manifest.kind}")
+    started = time.perf_counter()
+    try:
+        response = session.execute(request)
+    except Exception as exc:  # noqa: BLE001
+        report.error = f"replay execution failed: {exc}"
+        report.elapsed_s = time.perf_counter() - started
+        return report
+    finally:
+        if own_session:
+            session.close()
+    report.elapsed_s = time.perf_counter() - started
+
+    provenance = getattr(response, "provenance", None)
+    fresh_fps = stage_fingerprints(provenance)
+    recorded_fps = [(str(f.get("stage", "")), str(f.get("key", "")))
+                    for f in manifest.fingerprints]
+    fresh_pairs = [(f["stage"], f["key"]) for f in fresh_fps]
+    if recorded_fps != fresh_pairs:
+        if len(recorded_fps) != len(fresh_pairs):
+            report.fingerprint_mismatches.append(
+                f"stage count {len(recorded_fps)} -> {len(fresh_pairs)}")
+        for index, (recorded, fresh) in enumerate(
+                zip(recorded_fps, fresh_pairs)):
+            if recorded != fresh:
+                report.fingerprint_mismatches.append(
+                    f"stage[{index}] {recorded[0]}: {recorded[1][:16]} -> "
+                    f"{fresh[0]}: {fresh[1][:16]}")
+            if len(report.fingerprint_mismatches) >= MAX_MISMATCHES:
+                break
+
+    fresh_digest = response_digest(response)
+    if manifest.response:
+        if manifest.response_fingerprint and \
+                fingerprint_of(fresh_digest) == manifest.response_fingerprint:
+            pass  # bit-identical by hash; no need to walk the tree
+        else:
+            _diff(manifest.response, fresh_digest, "response",
+                  report.response_mismatches)
+            if not report.response_mismatches \
+                    and manifest.response_fingerprint:
+                report.response_mismatches.append(
+                    "response fingerprint differs but no field-level "
+                    "mismatch found (non-canonical manifest?)")
+
+    for name, spec in sorted(manifest.metrics.items()):
+        fresh_value = _resolve_metric(name, spec, provenance, fresh_digest,
+                                      report.elapsed_s)
+        if fresh_value is None:
+            report.deltas.append(MetricDelta(
+                name=name, recorded=spec.get("value"), fresh=None,
+                ok=False, kind=str(spec.get("kind", "perf")),
+                note="metric not present in fresh run"))
+            continue
+        ok, note = check_metric(spec, fresh_value)
+        report.deltas.append(MetricDelta(
+            name=name, recorded=spec.get("value"), fresh=fresh_value,
+            ok=ok, kind=str(spec.get("kind", "perf")), note=note))
+
+    fidelity_deltas_ok = all(
+        d.ok for d in report.deltas if d.kind == "fidelity")
+    report.fidelity_ok = (not report.fingerprint_mismatches
+                          and not report.response_mismatches
+                          and not report.error
+                          and fidelity_deltas_ok)
+    report.perf_ok = all(d.ok for d in report.deltas if d.kind == "perf")
+    report.ok = report.fidelity_ok and report.perf_ok
+    return report
+
+
+def replay_all(manifests: List[ExperimentManifest], *,
+               session=None) -> List[ReplayReport]:
+    """Replay a manifest list (shared session when one is passed)."""
+    return [replay_manifest(manifest, session=session)
+            for manifest in manifests]

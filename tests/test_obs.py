@@ -19,7 +19,8 @@ from repro.api.requests import MatrixRequest, RunRequest
 from repro.api.session import Session
 from repro.exec.cache import CODE_STAGE, CodeCache
 from repro.obs import (
-    DEFAULT_BUCKETS, Histogram, MetricsRegistry, ObsJournal, StageStats,
+    DEFAULT_BUCKETS, Histogram, JournalEncodeError, MetricsRegistry,
+    ObsJournal, StageStats,
     Tracer, global_tracer, journal_spans, latest_metrics, merge_snapshot,
     metrics_enabled, obs_mode, obs_override, quantile_from_buckets,
     read_journal, render_prometheus, render_trace_summary, render_waterfall,
@@ -392,6 +393,60 @@ class TestJournal:
 
     def test_read_missing_journal_is_empty(self, tmp_path):
         assert read_journal(str(tmp_path / "absent.jsonl")) == []
+
+    def test_write_rejects_non_round_trippable_events(self, tmp_path):
+        journal = ObsJournal(str(tmp_path / "obs.jsonl"))
+        with pytest.raises(JournalEncodeError, match="extra.bad"):
+            journal.write({"event": "manifest",
+                           "extra": {"bad": {1, 2, 3}}})
+        with pytest.raises(JournalEncodeError, match="nan"):
+            journal.write({"event": "manifest", "nan": float("nan")})
+        with pytest.raises(JournalEncodeError):
+            journal.write({"event": "manifest", "obj": object()})
+        # Nothing half-written: the journal stays empty after refusals.
+        assert read_journal(journal.path) == []
+        # Tuples and to_dict objects are fine — they canonicalize.
+        journal.write({"event": "manifest", "pair": (1, 2)})
+        events = read_journal(journal.path)
+        assert events[0]["pair"] == [1, 2]
+
+    def test_manifest_flags_degraded_sections(self, tmp_path):
+        journal = ObsJournal(str(tmp_path / "obs.jsonl"))
+        journal.manifest(kind="run", trace_id="t1", source="test",
+                         request={"kind": "run"},
+                         provenance={"poison": object()})
+        event = read_journal(journal.path)[0]
+        # The poisoned section was dropped and named; the rest survived.
+        assert "provenance" not in event
+        assert event["request"] == {"kind": "run"}
+        assert any("provenance" in entry for entry in event["degraded"])
+
+    def test_journal_spans_keeps_idless_spans(self):
+        events = [{"event": "spans", "spans": [
+            {"span_id": "a", "name": "one"},
+            {"name": "no-id-1"},
+            {"span_id": "a", "name": "one-dup"},
+            {"name": "no-id-2"},
+        ]}]
+        spans = journal_spans(events)
+        names = [span["name"] for span in spans]
+        # Duplicate ids collapse; id-less spans are all kept.
+        assert names == ["one", "no-id-1", "no-id-2"]
+
+    def test_latest_metrics_skips_corrupt_ts_and_breaks_ties(self):
+        series = lambda value: {"series": [{  # noqa: E731
+            "type": "counter", "name": "n", "labels": {}, "value": value}]}
+        events = [
+            {"event": "manifest", "ts": "not-a-time", "metrics": series(1)},
+            {"event": "manifest", "ts": float("nan"), "metrics": series(2)},
+            {"event": "manifest", "ts": 5.0, "metrics": series(3)},
+            {"event": "manifest", "ts": 5.0, "metrics": series(4)},
+            {"event": "manifest", "ts": 1.0, "metrics": series(5)},
+        ]
+        metrics = latest_metrics(events)
+        # Unparseable timestamps skipped; the 5.0 tie goes to the later
+        # event in journal order, and the older 1.0 never wins.
+        assert snapshot_value(metrics, "n") == 4.0
 
     def test_renderers_cover_manifest_and_spans(self):
         spans = [

@@ -1,0 +1,377 @@
+"""repro.replay: experiment manifests, replay, and the regression gate.
+
+The end-to-end contract under test: a journaled request (or a recorded
+manifest) replays through a fresh ``Session.execute`` with bit-identical
+stage fingerprints and oracle outputs; any tampering — a fingerprint, a
+response field, a missing metric — fails the gate; perf metrics trip
+when the fresh run lands outside the declared tolerance band.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main as cli_main
+from repro.api.requests import RunRequest, request_from_dict
+from repro.api.session import SESSION_DELAY_ENV, Session
+from repro.obs import read_journal, reset_global_tracer, set_obs_mode
+from repro.replay import (
+    ExperimentManifest, GateReport, ManifestError, capture_env,
+    check_metric, compare_bench, default_replay_metrics, fingerprint_of,
+    gate_bench_dirs, load_manifests, manifest_from_event,
+    manifest_from_response, metric_spec, replay_manifest, response_digest,
+    run_gate,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_JOURNAL", raising=False)
+    monkeypatch.delenv(SESSION_DELAY_ENV, raising=False)
+    set_obs_mode(None)
+    reset_global_tracer()
+    yield
+    set_obs_mode(None)
+    reset_global_tracer()
+
+
+def _run_request(**overrides) -> RunRequest:
+    fields = {"kernel": "dot_product", "machine": "vliw4", "size": 24,
+              "seed": 7, "engine": "cycle"}
+    fields.update(overrides)
+    return RunRequest(**fields)
+
+
+def _record(tmp_path, name="unit", **overrides) -> ExperimentManifest:
+    request = _run_request(**overrides)
+    with Session(name="record-test") as session:
+        response = session.execute(request)
+    return manifest_from_response(request, response, name=name,
+                                  elapsed_s=0.01)
+
+
+# ----------------------------------------------------------------------
+# Metric specs and their tolerance checks.
+# ----------------------------------------------------------------------
+
+class TestMetricSpecs:
+
+    def test_floor_and_ceiling_are_absolute(self):
+        spec = metric_spec(5.0, floor=3.0, ceiling=8.0)
+        assert check_metric(spec, 3.0)[0]
+        assert check_metric(spec, 8.0)[0]
+        ok, note = check_metric(spec, 2.9)
+        assert not ok and "floor" in note
+        ok, note = check_metric(spec, 8.1)
+        assert not ok and "ceiling" in note
+
+    def test_band_is_direction_aware(self):
+        lower = metric_spec(1.0, direction="lower", band=2.0)
+        assert check_metric(lower, 1.9)[0]
+        assert not check_metric(lower, 2.1)[0]
+        higher = metric_spec(10.0, direction="higher", band=2.0)
+        assert check_metric(higher, 5.5)[0]
+        assert not check_metric(higher, 4.9)[0]
+
+    def test_band_disabled_when_scales_differ(self):
+        spec = metric_spec(10.0, direction="higher", band=2.0, floor=1.0)
+        assert not check_metric(spec, 2.0)[0]
+        # relative_ok=False keeps only the absolute floor.
+        assert check_metric(spec, 2.0, relative_ok=False)[0]
+        assert not check_metric(spec, 0.5, relative_ok=False)[0]
+
+    def test_unbounded_fidelity_must_reproduce_exactly(self):
+        spec = metric_spec(0.75, kind="fidelity")
+        assert check_metric(spec, 0.75)[0]
+        ok, note = check_metric(spec, 0.7500001)
+        assert not ok and "drifted" in note
+
+    def test_non_numeric_fresh_value_fails(self):
+        ok, note = check_metric(metric_spec(1.0, band=2.0), "fast")
+        assert not ok and "not numeric" in note
+
+    def test_spec_vocabulary_validated(self):
+        with pytest.raises(ValueError):
+            metric_spec(1.0, kind="vibes")
+        with pytest.raises(ValueError):
+            metric_spec(1.0, direction="sideways")
+
+    def test_default_replay_metrics_band_elapsed(self):
+        metrics = default_replay_metrics(0.5)
+        spec = metrics["elapsed_s"]
+        assert spec["direction"] == "lower" and spec["kind"] == "perf"
+        assert check_metric(spec, 0.5 * spec["band"] + 0.9)[0]
+        assert not check_metric(spec, 0.5 * spec["band"] + 1.1)[0]
+
+
+# ----------------------------------------------------------------------
+# Manifest construction and loading.
+# ----------------------------------------------------------------------
+
+class TestManifest:
+
+    def test_response_digest_drops_provenance(self, tmp_path):
+        request = _run_request()
+        with Session(name="digest-test") as session:
+            response = session.execute(request)
+        digest = response_digest(response)
+        assert "provenance" not in digest
+        assert "cycles" in digest or "value" in digest
+        # The digest is stable across runs (wall clock lives in
+        # provenance, which was dropped).
+        with Session(name="digest-test-2") as session:
+            digest2 = response_digest(session.execute(request))
+        assert fingerprint_of(digest) == fingerprint_of(digest2)
+
+    def test_manifest_round_trips_through_disk(self, tmp_path):
+        manifest = _record(tmp_path)
+        path = str(tmp_path / "m.json")
+        manifest.save(path)
+        loaded = ExperimentManifest.load(path)
+        assert loaded.request == manifest.request
+        assert loaded.fingerprints == manifest.fingerprints
+        assert loaded.response_fingerprint == manifest.response_fingerprint
+        assert loaded.env == capture_env()
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ManifestError):
+            ExperimentManifest.from_dict({"kind": "run"})
+        with pytest.raises(ManifestError):
+            ExperimentManifest.from_dict(
+                {"manifest_kind": "experiment.manifest",
+                 "schema_version": 99,
+                 "request": {"kind": "run"}})
+        with pytest.raises(ManifestError):
+            ExperimentManifest.from_dict(
+                {"manifest_kind": "experiment.manifest", "request": {}})
+
+    def test_journal_event_is_a_manifest(self, tmp_path):
+        journal_path = str(tmp_path / "obs.jsonl")
+        request = _run_request()
+        with Session(name="journal-test", obs="trace",
+                     journal=journal_path) as session:
+            session.execute(request)
+        events = [event for event in read_journal(journal_path)
+                  if event.get("event") == "manifest"]
+        assert len(events) == 1
+        event = events[0]
+        # The session completed the event into a replayable manifest.
+        assert event["response_fingerprint"]
+        assert event["env"]["python"]
+        assert "elapsed_s" in event["replay_metrics"]
+        manifest = manifest_from_event(event)
+        assert manifest.request["kind"] == "run"
+        assert manifest.fingerprints
+        assert request_from_dict(manifest.request).kernel == "dot_product"
+
+    def test_degraded_event_is_refused(self):
+        with pytest.raises(ManifestError, match="degraded"):
+            manifest_from_event({"event": "manifest",
+                                 "request": {"kind": "run"},
+                                 "degraded": ["request: set"]})
+
+    def test_load_manifests_walks_directories(self, tmp_path):
+        manifest = _record(tmp_path)
+        manifest.save(str(tmp_path / "a.json"))
+        (tmp_path / "broken.json").write_text("{not json")
+        manifests, problems = load_manifests(str(tmp_path))
+        assert [m.name for m in manifests] == ["unit"]
+        assert len(problems) == 1 and "broken.json" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# Replay: bit-identity plus tamper detection.
+# ----------------------------------------------------------------------
+
+class TestReplay:
+
+    def test_replay_reproduces_bit_identically(self, tmp_path):
+        manifest = _record(tmp_path)
+        report = replay_manifest(manifest)
+        assert report.ok and report.fidelity_ok and report.perf_ok
+        assert not report.fingerprint_mismatches
+        assert not report.response_mismatches
+        assert report.fingerprints_expected == len(manifest.fingerprints) > 0
+
+    def test_tampered_fingerprint_fails_fidelity(self, tmp_path):
+        manifest = _record(tmp_path)
+        manifest.fingerprints[0]["key"] = "0" * 64
+        report = replay_manifest(manifest)
+        assert not report.ok and not report.fidelity_ok
+        assert report.fingerprint_mismatches
+        # Perf is independent: the run itself was fine.
+        assert report.perf_ok
+
+    def test_tampered_response_fails_with_field_path(self, tmp_path):
+        manifest = _record(tmp_path)
+        manifest.response["cycles"] = -1
+        manifest.response_fingerprint = fingerprint_of(manifest.response)
+        report = replay_manifest(manifest)
+        assert not report.ok
+        assert any("cycles" in mismatch
+                   for mismatch in report.response_mismatches)
+
+    def test_perf_band_trips_on_injected_delay(self, tmp_path, monkeypatch):
+        manifest = _record(tmp_path)
+        manifest.metrics["elapsed_s"] = metric_spec(
+            0.001, kind="perf", direction="lower", band=1.0, slack=0.05)
+        monkeypatch.setenv(SESSION_DELAY_ENV, "0.3")
+        report = replay_manifest(manifest)
+        assert report.fidelity_ok, (report.fingerprint_mismatches,
+                                    report.response_mismatches)
+        assert not report.perf_ok and not report.ok
+        delta = {d.name: d for d in report.deltas}["elapsed_s"]
+        assert not delta.ok and "band" in delta.note
+
+    def test_unrunnable_request_is_reported_not_raised(self):
+        manifest = ExperimentManifest(
+            name="bad", kind="run",
+            request={"kind": "run", "kernel": "no_such_kernel",
+                     "machine": "vliw4"})
+        report = replay_manifest(manifest)
+        assert not report.ok and report.error
+
+
+# ----------------------------------------------------------------------
+# The gate: manifests + BENCH baselines.
+# ----------------------------------------------------------------------
+
+class TestGate:
+
+    def test_gate_passes_on_faithful_manifests(self, tmp_path):
+        _record(tmp_path).save(str(tmp_path / "good.json"))
+        report = run_gate([str(tmp_path / "good.json")])
+        assert isinstance(report, GateReport) and report.ok
+        assert [entry.check for entry in report.entries] == ["replay"]
+
+    def test_gate_fails_on_tampered_manifest_and_load_problems(
+            self, tmp_path):
+        manifest = _record(tmp_path)
+        manifest.fingerprints[0]["key"] = "f" * 64
+        manifest.save(str(tmp_path / "bad.json"))
+        (tmp_path / "unreadable.json").write_text("{")
+        report = run_gate([str(tmp_path)])
+        assert not report.ok
+        assert {entry.check for entry in report.failures} == \
+            {"replay", "load"}
+
+    def test_empty_gate_is_not_a_pass(self):
+        assert not GateReport().ok
+
+    def test_compare_bench_uses_declared_tolerances(self):
+        baseline = {"shrunk": False, "metrics": {
+            "speedup": metric_spec(20.0, band=4.0, floor=3.0),
+            "pass_rate": metric_spec(1.0, kind="fidelity", floor=1.0),
+        }}
+        fresh_ok = {"shrunk": False, "metrics": {
+            "speedup": metric_spec(18.0), "pass_rate": metric_spec(1.0)}}
+        assert all(e.ok for e in compare_bench(baseline, fresh_ok, "b"))
+        fresh_bad = {"shrunk": False, "metrics": {
+            "speedup": metric_spec(4.0), "pass_rate": metric_spec(0.9)}}
+        failures = [e for e in compare_bench(baseline, fresh_bad, "b")
+                    if not e.ok]
+        assert {e.target for e in failures} == {"b:speedup", "b:pass_rate"}
+
+    def test_compare_bench_scale_mismatch_keeps_absolute_bounds(self):
+        baseline = {"shrunk": False, "metrics": {
+            "speedup": metric_spec(20.0, band=1.5, floor=3.0)}}
+        shrunk_fresh = {"shrunk": True, "metrics": {
+            "speedup": metric_spec(5.0)}}
+        entries = compare_bench(baseline, shrunk_fresh, "b")
+        assert all(e.ok for e in entries)  # band waived, floor holds
+        too_slow = {"shrunk": True, "metrics": {"speedup": metric_spec(2.0)}}
+        assert not compare_bench(baseline, too_slow, "b")[0].ok
+
+    def test_compare_bench_pre_manifest_schema_skipped(self):
+        entries = compare_bench({"experiment": "old"}, {}, "legacy")
+        assert len(entries) == 1 and entries[0].ok
+        assert "skipped" in entries[0].detail["note"]
+
+    def test_gate_bench_dirs_end_to_end(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir()
+        fresh_dir.mkdir()
+        document = {"shrunk": False, "metrics": {
+            "speedup": metric_spec(10.0, band=2.0)}}
+        (baseline_dir / "BENCH_x.json").write_text(json.dumps(document))
+        (baseline_dir / "BENCH_skipme.json").write_text(json.dumps(document))
+        (fresh_dir / "BENCH_x.json").write_text(json.dumps(
+            {"shrunk": False, "metrics": {"speedup": metric_spec(9.0)}}))
+        entries = gate_bench_dirs(str(baseline_dir), str(fresh_dir))
+        by_target = {e.target: e for e in entries}
+        assert by_target["BENCH_x.json:speedup"].ok
+        assert by_target["BENCH_skipme.json"].ok  # no fresh run: skipped
+        # A regression outside the band fails.
+        (fresh_dir / "BENCH_x.json").write_text(json.dumps(
+            {"shrunk": False, "metrics": {"speedup": metric_spec(3.0)}}))
+        entries = gate_bench_dirs(str(baseline_dir), str(fresh_dir))
+        assert not all(e.ok for e in entries)
+
+
+# ----------------------------------------------------------------------
+# The CLI: record → replay → gate.
+# ----------------------------------------------------------------------
+
+class TestReplayCli:
+
+    def _write_request(self, tmp_path):
+        path = tmp_path / "req.json"
+        path.write_text(json.dumps(
+            {"kind": "run", "kernel": "ip_checksum", "machine": "risc32",
+             "size": 16, "seed": 3, "engine": "cycle"}))
+        return str(path)
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        request_path = self._write_request(tmp_path)
+        manifest_path = str(tmp_path / "m.json")
+        assert cli_main(["record", "--request", request_path,
+                         "--output", manifest_path,
+                         "--name", "cli-roundtrip"]) == 0
+        assert cli_main(["replay", manifest_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli-roundtrip" in out and "ok" in out
+
+    def test_replay_detects_tampering_via_exit_code(self, tmp_path, capsys):
+        request_path = self._write_request(tmp_path)
+        manifest_path = tmp_path / "m.json"
+        assert cli_main(["record", "--request", request_path,
+                         "--output", str(manifest_path)]) == 0
+        data = json.loads(manifest_path.read_text())
+        data["fingerprints"][0]["key"] = "d" * 64
+        manifest_path.write_text(json.dumps(data))
+        report_path = tmp_path / "report.json"
+        assert cli_main(["replay", str(manifest_path),
+                         "--report", str(report_path)]) == 1
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+        assert report["replays"][0]["fingerprint_mismatches"]
+
+    def test_replay_of_journal_by_trace_id(self, tmp_path, capsys):
+        journal_path = str(tmp_path / "obs.jsonl")
+        with Session(name="cli-journal", obs="trace",
+                     journal=journal_path) as session:
+            response = session.execute(_run_request(size=16))
+        trace_id = response.provenance.trace_id
+        assert cli_main(["replay", journal_path,
+                         "--trace-id", trace_id]) == 0
+        assert cli_main(["replay", journal_path,
+                         "--trace-id", "missing"]) == 2
+
+    def test_gate_cli_reports_and_exit_codes(self, tmp_path, capsys):
+        request_path = self._write_request(tmp_path)
+        manifest_path = str(tmp_path / "m.json")
+        assert cli_main(["record", "--request", request_path,
+                         "--output", manifest_path]) == 0
+        report_path = tmp_path / "gate.json"
+        assert cli_main(["gate", manifest_path,
+                         "--report", str(report_path)]) == 0
+        assert json.loads(report_path.read_text())["ok"] is True
+        # Nothing to check is a usage error, not a silent pass.
+        assert cli_main(["gate"]) == 2
+        assert cli_main(["record", "--request",
+                         str(tmp_path / "absent.json"),
+                         "--output", manifest_path]) == 2
